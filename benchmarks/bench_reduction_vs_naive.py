@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Headline benchmark: vectorized (columnar graph-reduction) XPath
+evaluation vs. the naive decompress-evaluate baseline.
+
+For each document size the same queries run two ways:
+
+* ``naive``  — reconstruct the full tree from (skeleton, vectors), then walk
+  it node at a time (paper §3.2's baseline; decompression is *part of the
+  query cost*, which is exactly what the paper argues against);
+* ``vx``     — evaluate directly over the compressed skeleton and numpy
+  vector columns; zero decompression (machine-asserted by the engine) and
+  at most one scan per touched vector.
+
+Results go to BENCH_reduction.json so later PRs can track the trajectory.
+Exits nonzero if the vectorized evaluator is not >= 5x faster at the
+largest size (disable with --no-assert; --smoke uses tiny documents).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro import __version__  # noqa: E402
+from repro.core.engine import eval_query  # noqa: E402
+from repro.core.vdoc import VectorizedDocument  # noqa: E402
+from repro.core.xpath.parser import parse_xpath  # noqa: E402
+from repro.datasets.synth import xmark_like_xml  # noqa: E402
+from repro.util import Timer, best_of, fmt_table, human_count  # noqa: E402
+
+QUERIES = {
+    "Q1-select": "/site/people/person[profile/age = '32']/name",
+    "Q2-descendant": "//item[location = 'United States']/name",
+    "Q3-scan": "/site/people/person/profile/age/text()",
+    "Q4-multi-pred": "/site/people/person[profile/age >= 40][profile/education]"
+                     "/emailaddress",
+}
+
+
+def run(sizes: list[int], repeat: int, out_path: str, do_assert: bool) -> int:
+    records = []
+    for n_people in sizes:
+        with Timer() as t_gen:
+            xml = xmark_like_xml(n_people, seed=42)
+        with Timer() as t_vec:
+            vdoc = VectorizedDocument.from_xml(xml)
+        stats = vdoc.stats()
+        print(
+            f"\n== n_people={n_people}  nodes={human_count(stats['document_nodes'])}"
+            f"  skeleton={stats['skeleton_nodes']} nodes"
+            f"  vectors={stats['vectors']}"
+            f"  (gen {t_gen.elapsed:.2f}s, vectorize {t_vec.elapsed:.2f}s)"
+        )
+        for name, query in QUERIES.items():
+            path = parse_xpath(query)
+            # sanity: identical answers before timing
+            vx_res = eval_query(vdoc, path, mode="vx")
+            nv_res = eval_query(vdoc, path, mode="naive")
+            assert vx_res.count() == nv_res.count(), (name, vx_res.count(),
+                                                      nv_res.count())
+            t_naive = best_of(lambda: eval_query(vdoc, path, mode="naive"),
+                              repeat)
+            t_vx = best_of(lambda: eval_query(vdoc, path, mode="vx"), repeat)
+            records.append({
+                "n_people": n_people,
+                "document_nodes": stats["document_nodes"],
+                "skeleton_nodes": stats["skeleton_nodes"],
+                "vectors": stats["vectors"],
+                "query": name,
+                "xpath": query,
+                "result_count": vx_res.count(),
+                "t_naive_s": t_naive,
+                "t_vx_s": t_vx,
+                "speedup": t_naive / t_vx if t_vx > 0 else float("inf"),
+            })
+
+    headers = ["nodes", "query", "results", "naive (ms)", "vx (ms)", "speedup"]
+    rows = [
+        [human_count(r["document_nodes"]), r["query"], r["result_count"],
+         f"{r['t_naive_s'] * 1e3:.2f}", f"{r['t_vx_s'] * 1e3:.3f}",
+         f"{r['speedup']:.1f}x"]
+        for r in records
+    ]
+    print("\n" + fmt_table(headers, rows))
+
+    largest = max(sizes)
+    at_largest = [r for r in records if r["n_people"] == largest]
+    min_speedup = min(r["speedup"] for r in at_largest)
+    geo = 1.0
+    for r in at_largest:
+        geo *= r["speedup"]
+    geo **= 1.0 / len(at_largest)
+    print(f"\nlargest size: min speedup {min_speedup:.1f}x, "
+          f"geomean {geo:.1f}x over {len(at_largest)} queries")
+
+    payload = {
+        "bench": "reduction_vs_naive",
+        "version": __version__,
+        "sizes_n_people": sizes,
+        "repeat": repeat,
+        "records": records,
+        "largest_size": {
+            "n_people": largest,
+            "min_speedup": min_speedup,
+            "geomean_speedup": geo,
+        },
+    }
+    pathlib.Path(out_path).write_text(json.dumps(payload, indent=2) + "\n",
+                                      encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    if do_assert and min_speedup < 5.0:
+        print(f"FAIL: expected >= 5x speedup at the largest size, "
+              f"got {min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--sizes", default=None,
+                    help="comma-separated n_people sizes (default 2000,8000,32000)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny documents for CI (no speedup assertion)")
+    ap.add_argument("--repeat", type=int, default=3)
+    ap.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_reduction.json"))
+    ap.add_argument("--no-assert", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.sizes:
+        sizes = [int(s) for s in args.sizes.split(",")]
+    elif args.smoke:
+        sizes = [50, 200, 800]
+    else:
+        sizes = [2000, 8000, 32000]
+    do_assert = not (args.no_assert or args.smoke)
+    return run(sizes, args.repeat, args.out, do_assert)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

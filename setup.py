@@ -1,0 +1,6 @@
+"""Shim for editable installs in environments without the ``wheel``
+package (``python setup.py develop``); everything lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

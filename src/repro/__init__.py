@@ -1,0 +1,37 @@
+"""repro — a from-scratch reproduction of "Vectorizing and Querying Large
+XML Repositories" (Buneman et al., ICDE 2005).
+
+Public entry points::
+
+    from repro import VectorizedDocument, eval_query
+
+    vdoc = VectorizedDocument.from_xml(xml_text)
+    result = eval_query(vdoc, "/site/people/person[profile/age = '32']/name")
+    result.count(); result.canonical()
+"""
+
+from .core.engine import eval_query
+from .core.vdoc import VectorizedDocument
+from .errors import (
+    DecompressionForbiddenError,
+    EngineInvariantError,
+    ParseError,
+    ReproError,
+    XPathSyntaxError,
+)
+from .xmldata import parse, serialize
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "eval_query",
+    "VectorizedDocument",
+    "parse",
+    "serialize",
+    "ReproError",
+    "ParseError",
+    "XPathSyntaxError",
+    "DecompressionForbiddenError",
+    "EngineInvariantError",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""``repro-xq`` — command-line front end.
+
+Subcommands::
+
+    repro-xq stats FILE                      vectorization statistics
+    repro-xq query FILE XPATH [--mode vx|naive] [--values] [--canonical]
+    repro-xq reconstruct FILE                vectorize then decompress back
+    repro-xq gen N [--seed S]                synthetic XMark-like document
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import __version__
+from .core.engine import eval_query
+from .core.vdoc import VectorizedDocument
+from .datasets.synth import xmark_like_xml
+from .errors import ReproError
+
+
+def _load(path: str) -> VectorizedDocument:
+    with open(path, "r", encoding="utf-8") as f:
+        return VectorizedDocument.from_xml(f.read())
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-xq",
+        description="Vectorized XML store and query engine (ICDE 2005 repro)",
+    )
+    ap.add_argument("--version", action="version", version=f"repro-xq {__version__}")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_stats = sub.add_parser("stats", help="vectorization statistics")
+    p_stats.add_argument("file")
+
+    p_query = sub.add_parser("query", help="evaluate an XPath query")
+    p_query.add_argument("file")
+    p_query.add_argument("xpath")
+    p_query.add_argument("--mode", choices=("vx", "naive"), default="vx")
+    p_query.add_argument("--values", action="store_true",
+                         help="print text values of text-path results")
+    p_query.add_argument("--canonical", action="store_true",
+                         help="print canonical content of each result")
+
+    p_rec = sub.add_parser("reconstruct",
+                           help="vectorize, then decompress back to XML")
+    p_rec.add_argument("file")
+
+    p_gen = sub.add_parser("gen", help="emit a synthetic XMark-like document")
+    p_gen.add_argument("n_people", type=int)
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    args = ap.parse_args(argv)
+    try:
+        if args.cmd == "stats":
+            stats = _load(args.file).stats()
+            for k, v in stats.items():
+                print(f"{k:16} {v}")
+        elif args.cmd == "query":
+            result = eval_query(_load(args.file), args.xpath, mode=args.mode)
+            print(f"count {result.count()}")
+            if args.values:
+                for v in result.text_values():
+                    print(v)
+            if args.canonical:
+                for item in result.canonical():
+                    print(item)
+        elif args.cmd == "reconstruct":
+            sys.stdout.write(_load(args.file).to_xml())
+        elif args.cmd == "gen":
+            if args.n_people < 0:
+                print("repro-xq: error: N must be >= 0", file=sys.stderr)
+                return 1
+            sys.stdout.write(xmark_like_xml(args.n_people, seed=args.seed))
+    except BrokenPipeError:
+        # downstream consumer (head, etc.) closed the pipe — not an error
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"repro-xq: error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

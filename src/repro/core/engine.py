@@ -1,0 +1,76 @@
+"""Top-level query engine: dispatch between the vectorized evaluator and
+the naive decompress-evaluate baseline, enforcing the paper's invariants.
+
+``mode="vx"`` (the default) evaluates directly over (skeleton, vectors):
+
+* the whole evaluation runs inside :func:`forbid_decompression`, so any
+  skeleton decompression raises — "querying without decompression" is
+  machine-checked on every query;
+* after evaluation the engine asserts every touched data vector was
+  scanned at most once ("each data vector is scanned at most once").
+
+``mode="naive"`` is the baseline the paper argues against: reconstruct the
+full document tree (linear in |T|, counted by the decompression hook), then
+walk it node at a time.
+"""
+
+from __future__ import annotations
+
+from ..errors import EngineInvariantError
+from .reconstruct import forbid_decompression, reconstruct
+from .vdoc import VectorizedDocument
+from .xpath.ast import Path
+from .xpath.parser import parse_xpath
+from .xpath.tree_eval import canonical_item, evaluate_tree, node_path
+from .xpath.vx_eval import VXResult, evaluate_vx
+
+MODES = ("vx", "naive")
+
+
+class TreeResult:
+    """Result of the naive evaluator: actual nodes of the decompressed tree,
+    exposing the same reporting surface as :class:`VXResult`."""
+
+    def __init__(self, tree, nodes):
+        self.tree = tree
+        self.nodes = nodes
+
+    def count(self) -> int:
+        return len(self.nodes)
+
+    def text_values(self) -> list[str]:
+        from ..xmldata.model import Text
+
+        return [n.value for n in self.nodes if isinstance(n, Text)]
+
+    def canonical(self) -> list[tuple]:
+        """Canonical items grouped by concrete path (sorted), document order
+        within a group — the same ordering contract as ``VXResult``."""
+        paths = node_path(self.tree, {id(n) for n in self.nodes})
+        keyed = sorted(
+            range(len(self.nodes)),
+            key=lambda i: (paths[id(self.nodes[i])], i),
+        )
+        return [canonical_item(self.nodes[i]) for i in keyed]
+
+
+def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx"):
+    """Evaluate ``query`` (an XPath string or parsed :class:`Path`)."""
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    path = query if isinstance(query, Path) else parse_xpath(query)
+
+    if mode == "naive":
+        tree = reconstruct(vdoc.store, vdoc.root, vdoc.vectors)
+        return TreeResult(tree, evaluate_tree(tree, path))
+
+    vdoc.reset_scan_counts()
+    with forbid_decompression():
+        result: VXResult = evaluate_vx(vdoc, path)
+    over = [p for p, v in vdoc.vectors.items() if v.scan_count > 1]
+    if over:
+        raise EngineInvariantError(
+            "vectors scanned more than once in one query: "
+            + ", ".join("/".join(p) for p in over)
+        )
+    return result

@@ -1,0 +1,247 @@
+"""Run-length position algebra over compressed skeletons.
+
+For a root label path ``p``, the document nodes reachable by ``p`` are
+numbered 0..n-1 in document order; when ``p`` ends at ``#`` these ordinals
+are exactly the offsets into ``vector(p)``.  Occurrences of ``p`` are kept
+in run-length form ``(skeleton node, count)`` obtained by traversing the
+*compressed* skeleton — all occurrences in a run share a skeleton node and
+therefore identical subtree statistics (``occ``).  Hence the map from an
+occurrence of ``p`` to its contiguous range of ``p/q`` descendants is an
+arithmetic progression per run, and positional joins between a path and its
+extensions cost O(runs + |instantiation| log runs) — independent of |T|.
+This module is the concrete realization of "querying without decompression".
+
+Everything here is columnar: ordinal sets are int64 numpy arrays, range
+maps are (starts, lengths) column pairs, and expansion uses
+``np.searchsorted`` / prefix sums / ``np.repeat`` — no per-node Python
+loops on hot paths (Python iteration is over *runs* only, which is the
+compressed size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .skeleton import NodeStore
+
+
+def ranges_to_ordinals(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Materialize the union of ranges ``[starts[i], starts[i]+lengths[i])``.
+
+    Classic prefix-sum expansion: O(total output), fully vectorized.
+    For sorted, disjoint input ranges the output is sorted.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends_local = np.cumsum(lengths)
+    first_local = ends_local - lengths
+    return np.repeat(starts - first_local, lengths) + np.arange(total, dtype=np.int64)
+
+
+class ExtendedVector:
+    """A collection-at-a-time instantiation: numpy column arrays.
+
+    ``ord`` is the occurrence-ordinal column of the variable's path;
+    ``anc`` (optional) the ordinal column of its ancestor in the query;
+    ``card`` (optional) a cardinality column used when rows are kept
+    collapsed (a row stands for ``card`` consecutive occurrences).
+    """
+
+    __slots__ = ("path", "ord", "anc", "card")
+
+    def __init__(self, path: tuple, ords: np.ndarray,
+                 anc: np.ndarray | None = None,
+                 card: np.ndarray | None = None):
+        self.path = path
+        self.ord = ords
+        self.anc = anc
+        self.card = card
+
+    def __len__(self) -> int:
+        return len(self.ord)
+
+    def total(self) -> int:
+        """Number of represented occurrences (sum of cardinalities)."""
+        if self.card is None:
+            return len(self.ord)
+        return int(self.card.sum())
+
+
+class PathIndex:
+    """Run-length occurrence index of one root label path."""
+
+    __slots__ = ("path", "runs", "run_nodes", "run_counts", "run_start", "total")
+
+    def __init__(self, path: tuple, runs: list[tuple[int, int]]):
+        self.path = path
+        self.runs = runs  # [(skeleton node id, count), ...] document order
+        self.run_nodes = np.fromiter((r[0] for r in runs), dtype=np.int64,
+                                     count=len(runs))
+        self.run_counts = np.fromiter((r[1] for r in runs), dtype=np.int64,
+                                      count=len(runs))
+        cum = np.cumsum(self.run_counts)
+        self.total = int(cum[-1]) if len(runs) else 0
+        self.run_start = cum - self.run_counts  # first ordinal of each run
+
+    def all_ordinals(self) -> np.ndarray:
+        return np.arange(self.total, dtype=np.int64)
+
+    def run_of(self, ids: np.ndarray) -> np.ndarray:
+        """Run index of each ordinal (ids need not be sorted)."""
+        return np.searchsorted(self.run_start, ids, side="right") - 1
+
+
+def _merge_adjacent(runs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    out: list[tuple[int, int]] = []
+    for node, count in runs:
+        if out and out[-1][0] == node:
+            out[-1] = (node, out[-1][1] + count)
+        else:
+            out.append((node, count))
+    return out
+
+
+class PathsCatalog:
+    """Lazily built PathIndex per label path, plus extension statistics.
+
+    ``extension_ranges(path, ids, rel)`` is the workhorse positional join:
+    given occurrence ordinals of ``path``, return per-occurrence contiguous
+    ranges in the ordinal space of ``path + rel``, computed per *run* as an
+    arithmetic progression.
+    """
+
+    def __init__(self, store: NodeStore, root: int):
+        self.store = store
+        self.root = root
+        root_path = (store.label(root),)
+        self._idx: dict[tuple, PathIndex | None] = {
+            root_path: PathIndex(root_path, [(root, 1)])
+        }
+        self._ext: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        self._guide: list[tuple] | None = None
+
+    # -- index construction ----------------------------------------------
+
+    def index(self, path: tuple) -> PathIndex | None:
+        """The run-length index of ``path`` (None if the path is absent)."""
+        if path in self._idx:
+            return self._idx[path]
+        if len(path) <= 1:  # wrong root label
+            self._idx[path] = None
+            return None
+        parent = self.index(path[:-1])
+        if parent is None:
+            self._idx[path] = None
+            return None
+        store = self.store
+        label = path[-1]
+        runs: list[tuple[int, int]] = []
+        for node, count in parent.runs:
+            matching = _merge_adjacent(
+                [(c, k) for c, k in store.children(node) if store.label(c) == label]
+            )
+            if not matching:
+                continue
+            if len(matching) == 1:
+                # The common, regular case: c copies of a single child run
+                # collapse into one run — the index stays compressed.
+                child, k = matching[0]
+                runs.append((child, count * k))
+            else:
+                # Irregular interleaving (e.g. a<b/><c/><b/>): document
+                # order forces the child-run sequence to repeat per copy.
+                for _ in range(count):
+                    runs.extend(matching)
+        runs = _merge_adjacent(runs)
+        idx = PathIndex(path, runs) if runs else None
+        self._idx[path] = idx
+        return idx
+
+    # -- dataguide --------------------------------------------------------
+
+    def dataguide(self) -> list[tuple]:
+        """All distinct root label paths in the document (elements, ``@``
+        attribute nodes and ``#`` text), lexicographically sorted."""
+        if self._guide is not None:
+            return self._guide
+        store = self.store
+        paths: list[tuple] = []
+        frontier: dict[tuple, set[int]] = {(store.label(self.root),): {self.root}}
+        while frontier:
+            nxt: dict[tuple, set[int]] = {}
+            for path, nodes in frontier.items():
+                paths.append(path)
+                for n in nodes:
+                    for child, _ in store.children(n):
+                        cpath = (*path, store.label(child))
+                        nxt.setdefault(cpath, set()).add(child)
+            frontier = nxt
+        paths.sort()
+        self._guide = paths
+        return paths
+
+    # -- extension statistics (the position algebra) ----------------------
+
+    def _ext_stats(self, path: tuple, rel: tuple):
+        """Per-run occurrence counts of ``rel`` and per-run exclusive base
+        offsets into the ordinal space of ``path + rel``."""
+        key = (path, rel)
+        cached = self._ext.get(key)
+        if cached is not None:
+            return cached
+        pidx = self.index(path)
+        assert pidx is not None
+        uniq, inverse = np.unique(pidx.run_nodes, return_inverse=True)
+        per_uniq = np.fromiter(
+            (self.store.occ(int(n), rel) for n in uniq), dtype=np.int64,
+            count=len(uniq),
+        )
+        counts = per_uniq[inverse]  # occ(run node, rel) per run
+        weighted = pidx.run_counts * counts
+        base = np.cumsum(weighted) - weighted  # exclusive prefix sum
+        self._ext[key] = (counts, base)
+        return counts, base
+
+    def extension_total(self, path: tuple, rel: tuple) -> int:
+        pidx = self.index(path)
+        if pidx is None:
+            return 0
+        counts, base = self._ext_stats(path, rel)
+        if len(base) == 0:
+            return 0
+        return int(base[-1] + pidx.run_counts[-1] * counts[-1])
+
+    def extension_ranges(self, path: tuple, ids: np.ndarray | None, rel: tuple):
+        """Contiguous descendant ranges of each occurrence in ``ids``.
+
+        Returns ``(starts, lengths)`` into the ordinal space of
+        ``path + rel``.  ``ids=None`` means *all* occurrences of ``path``
+        (computed by run expansion, no searchsorted needed).
+        """
+        pidx = self.index(path)
+        assert pidx is not None
+        counts, base = self._ext_stats(path, rel)
+        if ids is None:
+            lengths = np.repeat(counts, pidx.run_counts)
+            ends = np.cumsum(lengths)
+            return ends - lengths, lengths
+        runs = pidx.run_of(ids)
+        lengths = counts[runs]
+        starts = base[runs] + (ids - pidx.run_start[runs]) * lengths
+        return starts, lengths
+
+    def expand(self, path: tuple, ids: np.ndarray | None, rel: tuple,
+               with_anc: bool = False):
+        """Positional join: occurrence ordinals of ``path + rel`` lying
+        under ``ids``; optionally also the ancestor ordinal column
+        (an :class:`ExtendedVector` keyed by ancestor)."""
+        starts, lengths = self.extension_ranges(path, ids, rel)
+        ords = ranges_to_ordinals(starts, lengths)
+        if not with_anc:
+            return ords
+        if ids is None:
+            pidx = self.index(path)
+            ids = pidx.all_ordinals()
+        anc = np.repeat(ids, lengths)
+        return ExtendedVector((*path, *rel), ords, anc=anc)

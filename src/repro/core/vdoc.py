@@ -1,0 +1,72 @@
+"""Vectorized document container: (skeleton, root, vectors) + statistics."""
+
+from __future__ import annotations
+
+from ..xmldata.model import Element
+from ..xmldata.parser import iterparse
+from ..xmldata.serializer import serialize
+from .reconstruct import reconstruct
+from .skeleton import NodeStore
+from .vectorize import vectorize_events, vectorize_tree
+from .vectors import Vector
+
+
+class VectorizedDocument:
+    """An XML document in vectorized form: compressed skeleton + data
+    vectors.  This is the unit the query engine operates on."""
+
+    def __init__(self, store: NodeStore, root: int, vectors: dict[tuple, Vector]):
+        self.store = store
+        self.root = root
+        self.vectors = vectors
+        self._catalog = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, text: str) -> "VectorizedDocument":
+        return cls(*vectorize_events(iterparse(text)))
+
+    @classmethod
+    def from_tree(cls, tree: Element) -> "VectorizedDocument":
+        return cls(*vectorize_tree(tree))
+
+    @classmethod
+    def from_events(cls, events) -> "VectorizedDocument":
+        return cls(*vectorize_events(events))
+
+    # -- decompression (counted; never used by the vectorized evaluator) --
+
+    def to_tree(self) -> Element:
+        return reconstruct(self.store, self.root, self.vectors)
+
+    def to_xml(self) -> str:
+        return serialize(self.to_tree())
+
+    # -- query support ----------------------------------------------------
+
+    @property
+    def catalog(self):
+        """Lazily built run-length occurrence indexes (position algebra)."""
+        if self._catalog is None:
+            from .paths import PathsCatalog
+
+            self._catalog = PathsCatalog(self.store, self.root)
+        return self._catalog
+
+    def reset_scan_counts(self) -> None:
+        for v in self.vectors.values():
+            v.scan_count = 0
+
+    # -- statistics -------------------------------------------------------
+
+    def stats(self) -> dict:
+        store = self.store
+        total_values = sum(len(v) for v in self.vectors.values())
+        return {
+            "document_nodes": store.node_count(self.root),
+            "skeleton_nodes": len(store.reachable(self.root)),
+            "skeleton_edges": store.edge_count(self.root),
+            "vectors": len(self.vectors),
+            "values": total_values,
+        }

@@ -1,0 +1,72 @@
+"""Data vectors (paper §2.1): one vector per distinct root-to-text label path.
+
+Values are held as a numpy unicode column array so predicate evaluation is a
+single vectorized comparison.  A cached float view supports the ordering
+operators.  ``scan()`` is the instrumented access path used by the query
+evaluators — the engine asserts each touched vector is scanned at most once
+per query, the paper's "each data vector is scanned at most once" guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PathKey = tuple  # tuple[str, ...] root label path, ending with '#'
+
+
+class Vector:
+    __slots__ = ("path", "_values", "_floats", "scan_count")
+
+    def __init__(self, path: PathKey, values):
+        self.path = path
+        if isinstance(values, np.ndarray) and values.dtype.kind == "U":
+            self._values = values
+        else:
+            self._values = np.asarray(list(values), dtype=np.str_)
+            if self._values.dtype.kind != "U":  # e.g. empty input
+                self._values = self._values.astype(np.str_)
+        self._floats: np.ndarray | None = None
+        self.scan_count = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Vector({'/'.join(self.path)!r}, n={len(self)})"
+
+    # -- instrumented access (query hot path) -----------------------------
+
+    def scan(self) -> np.ndarray:
+        """Return the full column, counting one sequential scan."""
+        self.scan_count += 1
+        return self._values
+
+    def floats(self) -> np.ndarray:
+        """The column parsed as float64 (NaN where non-numeric), cached.
+
+        Derived from the already-loaded column; it does not count as an
+        additional scan.
+        """
+        if self._floats is None:
+            try:
+                self._floats = self._values.astype(np.float64)
+            except ValueError:
+                out = np.full(len(self._values), np.nan)
+                for i, v in enumerate(self._values):
+                    try:
+                        out[i] = float(v)
+                    except ValueError:
+                        pass
+                self._floats = out
+        return self._floats
+
+    # -- uninstrumented access (reconstruction / materialization) ---------
+
+    def at(self, i: int) -> str:
+        return str(self._values[i])
+
+    def take(self, ids: np.ndarray) -> list[str]:
+        return [str(v) for v in self._values[ids]]
+
+    def slice(self, start: int, stop: int) -> list[str]:
+        return [str(v) for v in self._values[start:stop]]

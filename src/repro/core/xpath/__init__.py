@@ -1,0 +1,20 @@
+"""XPath fragment P[*,//]: parser plus naive and vectorized evaluators."""
+
+from .ast import CHILD, DESCENDANT, Path, Pred, Step
+from .parser import parse_xpath
+from .tree_eval import canonical_item, evaluate_tree, node_path
+from .vx_eval import VXResult, evaluate_vx
+
+__all__ = [
+    "CHILD",
+    "DESCENDANT",
+    "Path",
+    "Pred",
+    "Step",
+    "parse_xpath",
+    "canonical_item",
+    "evaluate_tree",
+    "node_path",
+    "VXResult",
+    "evaluate_vx",
+]

@@ -1,0 +1,139 @@
+"""Recursive-descent parser for the XPath fragment P[*,//]."""
+
+from __future__ import annotations
+
+from ...errors import XPathSyntaxError
+from .ast import CHILD, DESCENDANT, OPS, Path, Pred, Step
+
+_NAME_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NAME_CHARS = _NAME_START | set("0123456789-.:")
+
+
+class _Scanner:
+    def __init__(self, s: str):
+        self.s = s
+        self.i = 0
+
+    def ws(self) -> None:
+        while self.i < len(self.s) and self.s[self.i] in " \t\r\n":
+            self.i += 1
+
+    def eof(self) -> bool:
+        self.ws()
+        return self.i >= len(self.s)
+
+    def peek(self, tok: str) -> bool:
+        self.ws()
+        return self.s.startswith(tok, self.i)
+
+    def eat(self, tok: str) -> bool:
+        if self.peek(tok):
+            self.i += len(tok)
+            return True
+        return False
+
+    def expect(self, tok: str) -> None:
+        if not self.eat(tok):
+            raise XPathSyntaxError(
+                f"expected {tok!r} at offset {self.i} in {self.s!r}")
+
+    def name(self) -> str:
+        self.ws()
+        i = self.i
+        if i >= len(self.s) or self.s[i] not in _NAME_START:
+            raise XPathSyntaxError(
+                f"expected a name at offset {i} in {self.s!r}")
+        j = i + 1
+        while j < len(self.s) and self.s[j] in _NAME_CHARS:
+            j += 1
+        self.i = j
+        return self.s[i:j]
+
+
+def _parse_test(sc: _Scanner, allow_wild: bool) -> str:
+    if sc.eat("*"):
+        if not allow_wild:
+            raise XPathSyntaxError("'*' is not supported inside predicates")
+        return "*"
+    if sc.eat("@"):
+        return "@" + sc.name()
+    name = sc.name()
+    if name == "text" and sc.eat("("):
+        sc.expect(")")
+        return "#"
+    return name
+
+
+def _parse_literal(sc: _Scanner) -> str:
+    sc.ws()
+    if sc.i < len(sc.s) and sc.s[sc.i] in "\"'":
+        quote = sc.s[sc.i]
+        end = sc.s.find(quote, sc.i + 1)
+        if end < 0:
+            raise XPathSyntaxError("unterminated string literal")
+        value = sc.s[sc.i + 1 : end]
+        sc.i = end + 1
+        return value
+    # bare number
+    i = sc.i
+    j = i
+    while j < len(sc.s) and (sc.s[j].isdigit() or sc.s[j] in "+-.eE"):
+        j += 1
+    if j == i:
+        raise XPathSyntaxError(f"expected a literal at offset {i} in {sc.s!r}")
+    sc.i = j
+    return sc.s[i:j]
+
+
+def _parse_pred(sc: _Scanner) -> Pred:
+    rel = [_parse_test(sc, allow_wild=False)]
+    while True:
+        if sc.peek("//"):
+            raise XPathSyntaxError("'//' is not supported inside predicates")
+        if not sc.eat("/"):
+            break
+        rel.append(_parse_test(sc, allow_wild=False))
+    for comp in rel[:-1]:
+        if comp == "#" or comp.startswith("@"):
+            raise XPathSyntaxError(
+                f"{comp!r} may only appear last in a predicate path")
+    op = None
+    value = None
+    for candidate in ("<=", ">=", "!=", "=", "<", ">"):
+        if sc.eat(candidate):
+            op = candidate
+            break
+    if op is not None:
+        assert op in OPS
+        value = _parse_literal(sc)
+    sc.expect("]")
+    return Pred(tuple(rel), op, value)
+
+
+def parse_xpath(s: str) -> Path:
+    """Parse an absolute XPath expression of the fragment P[*,//]."""
+    sc = _Scanner(s)
+    steps: list[Step] = []
+    sc.ws()
+    if not (sc.peek("/") or sc.peek("//")):
+        raise XPathSyntaxError("only absolute paths ('/...' or '//...') are supported")
+    while not sc.eof():
+        if sc.eat("//"):
+            axis = DESCENDANT
+        elif sc.eat("/"):
+            axis = CHILD
+        else:
+            raise XPathSyntaxError(
+                f"unexpected input at offset {sc.i} in {s!r}")
+        test = _parse_test(sc, allow_wild=True)
+        preds: list[Pred] = []
+        while sc.eat("["):
+            preds.append(_parse_pred(sc))
+        if steps and steps[-1].test == "#":
+            raise XPathSyntaxError("text() must be the last step")
+        if steps and steps[-1].test.startswith("@") and test != "#":
+            raise XPathSyntaxError("an attribute step may only be followed by text()")
+        steps.append(Step(axis, test, tuple(preds)))
+    if not steps:
+        raise XPathSyntaxError("empty path")
+    return Path(tuple(steps))

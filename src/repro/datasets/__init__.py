@@ -1,0 +1,6 @@
+"""Dataset generators (XMark / TreeBank / MedLine / SkyServer to come;
+see ROADMAP.md).  Currently: a synthetic XMark-like generator."""
+
+from .synth import xmark_like_xml
+
+__all__ = ["xmark_like_xml"]

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by repro."""
+
+
+class ParseError(ReproError):
+    """Malformed XML input."""
+
+    def __init__(self, message: str, pos: int | None = None):
+        if pos is not None:
+            message = f"{message} (at offset {pos})"
+        super().__init__(message)
+        self.pos = pos
+
+
+class XPathSyntaxError(ReproError):
+    """Malformed XPath expression."""
+
+
+class DecompressionForbiddenError(ReproError):
+    """Skeleton decompression attempted inside a forbid_decompression() block.
+
+    The vectorized evaluator must never reconstruct the document tree; the
+    engine wraps evaluation in this guard so a regression fails loudly.
+    """
+
+
+class EngineInvariantError(ReproError):
+    """A query-engine invariant was violated (e.g. a vector scanned twice)."""

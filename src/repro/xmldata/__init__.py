@@ -1,0 +1,20 @@
+"""XML substrate: node model, streaming parser, serializer, escaping."""
+
+from .model import Attr, Element, Node, Text, node_label, preorder, tree_size, xpath_children
+from .parser import iterparse, parse, tree_events
+from .serializer import serialize
+
+__all__ = [
+    "Attr",
+    "Element",
+    "Node",
+    "Text",
+    "node_label",
+    "preorder",
+    "tree_size",
+    "xpath_children",
+    "iterparse",
+    "parse",
+    "tree_events",
+    "serialize",
+]

@@ -1,0 +1,56 @@
+"""XML character escaping / entity resolution (no external XML library)."""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+
+_BUILTIN = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def escape_text(s: str) -> str:
+    """Escape character data for element content."""
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(s: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (
+        s.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def unescape(s: str) -> str:
+    """Resolve the five builtin entities and numeric character references."""
+    if "&" not in s:
+        return s
+    out: list[str] = []
+    i, n = 0, len(s)
+    while i < n:
+        amp = s.find("&", i)
+        if amp < 0:
+            out.append(s[i:])
+            break
+        out.append(s[i:amp])
+        semi = s.find(";", amp + 1)
+        if semi < 0:
+            raise ParseError("unterminated entity reference", amp)
+        name = s[amp + 1 : semi]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _BUILTIN:
+            out.append(_BUILTIN[name])
+        else:
+            raise ParseError(f"unknown entity &{name};", amp)
+        i = semi + 1
+    return "".join(out)

@@ -1,0 +1,130 @@
+"""In-memory XML node model.
+
+Three node kinds, matching what the skeleton distinguishes:
+
+* :class:`Element` — a labelled node with ordered attributes and children;
+* :class:`Text` — character data (label ``#`` in the skeleton);
+* :class:`Attr` — an attribute viewed as a pseudo-node (label ``@name``),
+  materialized on demand so XPath can address attributes uniformly.
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    __slots__ = ()
+
+
+class Text(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Text({self.value!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Text) and other.value == self.value
+
+    def __hash__(self):  # structural eq => unhashable by default; keep id-hash
+        return id(self)
+
+
+class Attr(Node):
+    """An attribute as a pseudo-node; its value is exposed as a text child
+    so the label path of the value is ``(..., '@name', '#')`` exactly as in
+    the vectorized representation."""
+
+    __slots__ = ("name", "value", "_text")
+
+    def __init__(self, name: str, value: str):
+        self.name = name
+        self.value = value
+        self._text: Text | None = None
+
+    @property
+    def text_child(self) -> Text:
+        if self._text is None:
+            self._text = Text(self.value)
+        return self._text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Attr({self.name}={self.value!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Attr)
+            and other.name == self.name
+            and other.value == self.value
+        )
+
+    def __hash__(self):
+        return id(self)
+
+
+class Element(Node):
+    __slots__ = ("label", "attrs", "children", "_attr_nodes")
+
+    def __init__(self, label: str, attrs: dict[str, str] | None = None,
+                 children: list[Node] | None = None):
+        self.label = label
+        self.attrs: dict[str, str] = dict(attrs) if attrs else {}
+        self.children: list[Node] = list(children) if children else []
+        self._attr_nodes: list[Attr] | None = None
+
+    def append(self, child: Node) -> None:
+        self.children.append(child)
+
+    def attr_nodes(self) -> list[Attr]:
+        """Attributes as pseudo-nodes with stable identity (for node sets)."""
+        if self._attr_nodes is None or len(self._attr_nodes) != len(self.attrs):
+            self._attr_nodes = [Attr(k, v) for k, v in self.attrs.items()]
+        return self._attr_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Element({self.label!r}, {len(self.children)} children)"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Element)
+            and other.label == self.label
+            and other.attrs == self.attrs
+            and other.children == self.children
+        )
+
+    def __hash__(self):
+        return id(self)
+
+
+def node_label(n: Node) -> str:
+    """The skeleton label of a node: element label, ``@name``, or ``#``."""
+    if isinstance(n, Element):
+        return n.label
+    if isinstance(n, Attr):
+        return "@" + n.name
+    return "#"
+
+
+def xpath_children(n: Node) -> list[Node]:
+    """Children as XPath sees them: attributes first, then content; an
+    attribute exposes its value as a single text child."""
+    if isinstance(n, Element):
+        return [*n.attr_nodes(), *n.children]
+    if isinstance(n, Attr):
+        return [n.text_child]
+    return []
+
+
+def preorder(n: Node):
+    """Document-order traversal including attribute pseudo-nodes."""
+    stack = [n]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        stack.extend(reversed(xpath_children(cur)))
+
+
+def tree_size(n: Node) -> int:
+    """Number of nodes (elements + texts + attrs + attr texts)."""
+    return sum(1 for _ in preorder(n))

@@ -1,0 +1,205 @@
+"""A from-scratch streaming XML parser (no ``xml.etree``).
+
+:func:`iterparse` yields SAX-like events — ``("start", label, attrs)``,
+``("text", value)``, ``("end", label)`` — scanning the input once; the
+vectorizer consumes the event stream directly so a document is vectorized
+without ever building the node tree (Prop 2.1's linear pass).
+:func:`parse` assembles the events into a :class:`~repro.xmldata.model.Element`
+tree for the naive baseline.
+
+Supported: elements, attributes, character data, CDATA sections, comments,
+processing instructions, an XML declaration and a (non-validated) DOCTYPE.
+Namespaces are not interpreted — prefixed names are plain labels.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .escape import unescape
+from .model import Element, Text
+
+_NAME_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_:")
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+
+Event = tuple  # ("start", label, list[(name, value)]) | ("text", str) | ("end", label)
+
+
+def _scan_name(text: str, i: int) -> tuple[str, int]:
+    if i >= len(text) or text[i] not in _NAME_START:
+        raise ParseError("expected a name", i)
+    j = i + 1
+    n = len(text)
+    while j < n and text[j] in _NAME_CHARS:
+        j += 1
+    return text[i:j], j
+
+
+def _skip_ws(text: str, i: int) -> int:
+    n = len(text)
+    while i < n and text[i] in " \t\r\n":
+        i += 1
+    return i
+
+
+def iterparse(text: str):
+    """Yield parse events for the single root element of ``text``."""
+    i, n = 0, len(text)
+    open_tags: list[str] = []
+    seen_root = False
+    pending_text: list[str] = []
+
+    def flush_text():
+        if pending_text:
+            value = "".join(pending_text)
+            pending_text.clear()
+            if open_tags:
+                yield ("text", value)
+            elif value.strip():
+                raise ParseError("character data outside the root element")
+
+    while i < n:
+        lt = text.find("<", i)
+        if lt < 0:
+            if open_tags:
+                raise ParseError("unexpected end of input inside an element", i)
+            if text[i:].strip():
+                raise ParseError("character data outside the root element", i)
+            break
+        if lt > i:
+            chunk = text[i:lt]
+            if open_tags:
+                pending_text.append(unescape(chunk))
+            elif chunk.strip():
+                raise ParseError("character data outside the root element", i)
+        i = lt
+        if text.startswith("<!--", i):
+            end = text.find("-->", i + 4)
+            if end < 0:
+                raise ParseError("unterminated comment", i)
+            i = end + 3
+        elif text.startswith("<![CDATA[", i):
+            if not open_tags:
+                raise ParseError("CDATA outside the root element", i)
+            end = text.find("]]>", i + 9)
+            if end < 0:
+                raise ParseError("unterminated CDATA section", i)
+            pending_text.append(text[i + 9 : end])
+            i = end + 3
+        elif text.startswith("<?", i):
+            end = text.find("?>", i + 2)
+            if end < 0:
+                raise ParseError("unterminated processing instruction", i)
+            i = end + 2
+        elif text.startswith("<!DOCTYPE", i):
+            # Skip to the matching '>', allowing one [...] internal subset.
+            j = i + 9
+            bracket = text.find("[", j)
+            gt = text.find(">", j)
+            if bracket != -1 and bracket < gt:
+                close = text.find("]", bracket)
+                if close < 0:
+                    raise ParseError("unterminated DOCTYPE internal subset", i)
+                gt = text.find(">", close)
+            if gt < 0:
+                raise ParseError("unterminated DOCTYPE", i)
+            i = gt + 1
+        elif text.startswith("</", i):
+            yield from flush_text()
+            label, j = _scan_name(text, i + 2)
+            j = _skip_ws(text, j)
+            if j >= n or text[j] != ">":
+                raise ParseError(f"malformed end tag </{label}", i)
+            if not open_tags:
+                raise ParseError(f"unmatched end tag </{label}>", i)
+            expected = open_tags.pop()
+            if label != expected:
+                raise ParseError(
+                    f"mismatched end tag </{label}>, expected </{expected}>", i)
+            yield ("end", label)
+            i = j + 1
+        else:
+            if not open_tags and seen_root:
+                raise ParseError("multiple root elements", i)
+            yield from flush_text()
+            label, j = _scan_name(text, i + 1)
+            attrs: list[tuple[str, str]] = []
+            while True:
+                j = _skip_ws(text, j)
+                if j >= n:
+                    raise ParseError("unexpected end of input in start tag", i)
+                c = text[j]
+                if c == ">":
+                    yield ("start", label, attrs)
+                    open_tags.append(label)
+                    seen_root = True
+                    j += 1
+                    break
+                if c == "/":
+                    if not text.startswith("/>", j):
+                        raise ParseError("malformed empty-element tag", j)
+                    yield ("start", label, attrs)
+                    yield ("end", label)
+                    seen_root = True
+                    j += 2
+                    break
+                name, j = _scan_name(text, j)
+                j = _skip_ws(text, j)
+                if j >= n or text[j] != "=":
+                    raise ParseError(f"attribute {name} missing '='", j)
+                j = _skip_ws(text, j + 1)
+                if j >= n or text[j] not in "\"'":
+                    raise ParseError(f"attribute {name} value must be quoted", j)
+                quote = text[j]
+                endq = text.find(quote, j + 1)
+                if endq < 0:
+                    raise ParseError(f"unterminated value for attribute {name}", j)
+                attrs.append((name, unescape(text[j + 1 : endq])))
+                j = endq + 1
+            i = j
+    if open_tags:
+        raise ParseError(f"unexpected end of input: unclosed <{open_tags[-1]}>")
+    if not seen_root:
+        raise ParseError("no root element found")
+
+
+def parse(text: str) -> Element:
+    """Parse ``text`` into an :class:`Element` tree (merging adjacent text)."""
+    root: Element | None = None
+    stack: list[Element] = []
+    for ev in iterparse(text):
+        kind = ev[0]
+        if kind == "start":
+            elem = Element(ev[1], dict(ev[2]))
+            if stack:
+                stack[-1].append(elem)
+            elif root is None:
+                root = elem
+            stack.append(elem)
+        elif kind == "text":
+            top = stack[-1]
+            if top.children and isinstance(top.children[-1], Text):
+                top.children[-1].value += ev[1]
+            else:
+                top.append(Text(ev[1]))
+        else:  # end
+            stack.pop()
+    assert root is not None
+    return root
+
+
+def tree_events(root: Element):
+    """Re-emit the event stream of an existing tree (for re-vectorization)."""
+    stack: list[object] = [("node", root)]
+    while stack:
+        kind, payload = stack.pop()
+        if kind == "end":
+            yield ("end", payload)
+            continue
+        node = payload
+        if isinstance(node, Text):
+            yield ("text", node.value)
+            continue
+        yield ("start", node.label, list(node.attrs.items()))
+        stack.append(("end", node.label))
+        for child in reversed(node.children):
+            stack.append(("node", child))

@@ -1,0 +1,36 @@
+"""Serialize a node tree back to XML text."""
+
+from __future__ import annotations
+
+from .escape import escape_attr, escape_text
+from .model import Element, Node, Text
+
+
+def serialize(node: Node) -> str:
+    """Exact (non-pretty) serialization; ``parse(serialize(t)) == t``."""
+    out: list[str] = []
+    _write(node, out)
+    return "".join(out)
+
+
+def _write(node: Node, out: list[str]) -> None:
+    stack: list[object] = [node]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, str):  # a pending end tag
+            out.append(cur)
+            continue
+        if isinstance(cur, Text):
+            out.append(escape_text(cur.value))
+            continue
+        assert isinstance(cur, Element)
+        out.append(f"<{cur.label}")
+        for name, value in cur.attrs.items():
+            out.append(f' {name}="{escape_attr(value)}"')
+        if not cur.children:
+            out.append("/>")
+            continue
+        out.append(">")
+        stack.append(f"</{cur.label}>")
+        for child in reversed(cur.children):
+            stack.append(child)

@@ -1,0 +1,46 @@
+from repro.cli import main
+
+
+def _gen(tmp_path, n=20):
+    import io
+    from contextlib import redirect_stdout
+
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        assert main(["gen", str(n), "--seed", "2"]) == 0
+    f = tmp_path / "doc.xml"
+    f.write_text(buf.getvalue(), encoding="utf-8")
+    return f
+
+
+def test_gen_stats_query_reconstruct(tmp_path, capsys):
+    f = _gen(tmp_path)
+
+    assert main(["stats", str(f)]) == 0
+    out = capsys.readouterr().out
+    assert "skeleton_nodes" in out and "vectors" in out
+
+    assert main(["query", str(f),
+                 "/site/people/person/profile/age/text()", "--values"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert out[0].startswith("count ")
+    assert int(out[0].split()[1]) == len(out) - 1 == 20
+
+    for mode in ("vx", "naive"):
+        assert main(["query", str(f), "//item[quantity > 5]/name",
+                     "--mode", mode, "--canonical"]) == 0
+    capsys.readouterr()
+
+    assert main(["reconstruct", str(f)]) == 0
+    xml = capsys.readouterr().out.rstrip("\n")
+    assert xml == f.read_text(encoding="utf-8")
+
+
+def test_cli_reports_errors(tmp_path, capsys):
+    f = tmp_path / "bad.xml"
+    f.write_text("<a><b></a>", encoding="utf-8")
+    assert main(["stats", str(f)]) == 1
+    assert "error" in capsys.readouterr().err
+
+    g = _gen(tmp_path, 5)
+    assert main(["query", str(g), "not-an-xpath"]) == 1

@@ -1,0 +1,93 @@
+"""Engine invariants (acceptance criteria): the vectorized path performs
+zero skeleton decompression, and scans each touched data vector at most
+once per query."""
+
+import numpy as np
+import pytest
+
+import repro.core.reconstruct as reconstruct_mod
+from repro.core.engine import eval_query
+from repro.core.reconstruct import forbid_decompression
+from repro.core.vdoc import VectorizedDocument
+from repro.datasets.synth import xmark_like_xml
+from repro.errors import DecompressionForbiddenError, EngineInvariantError
+
+
+@pytest.fixture(scope="module")
+def vdoc():
+    return VectorizedDocument.from_xml(xmark_like_xml(60, seed=3))
+
+
+QUERIES = [
+    "/site/people/person[profile/age = '32']/name",
+    "/site/people/person[profile/age >= 40][profile/education]/name/text()",
+    "//item[location = 'Kenya']/name",
+    "/site/regions/*/item/quantity/text()",
+    "//person[phone]",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_vx_never_decompresses(vdoc, query):
+    before = reconstruct_mod.DECOMPRESSION_COUNT
+    eval_query(vdoc, query, mode="vx")
+    assert reconstruct_mod.DECOMPRESSION_COUNT == before
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_vx_scans_each_vector_at_most_once(vdoc, query):
+    eval_query(vdoc, query, mode="vx")
+    assert all(v.scan_count <= 1 for v in vdoc.vectors.values())
+
+
+def test_vx_touches_only_predicate_vectors(vdoc):
+    eval_query(vdoc, "/site/people/person[profile/age = '32']/name", mode="vx")
+    touched = {p for p, v in vdoc.vectors.items() if v.scan_count}
+    assert touched == {("site", "people", "person", "profile", "age", "#")}
+
+
+def test_existence_predicate_touches_no_vector(vdoc):
+    eval_query(vdoc, "//person[phone]/name", mode="vx")
+    assert not any(v.scan_count for v in vdoc.vectors.values())
+
+
+def test_forbid_decompression_guard(vdoc):
+    with forbid_decompression():
+        with pytest.raises(DecompressionForbiddenError):
+            vdoc.to_tree()
+    vdoc.to_tree()  # allowed again outside the guard
+
+
+def test_naive_mode_decompresses_exactly_once(vdoc):
+    before = reconstruct_mod.DECOMPRESSION_COUNT
+    eval_query(vdoc, "/site/people/person/name", mode="naive")
+    assert reconstruct_mod.DECOMPRESSION_COUNT == before + 1
+
+
+def test_engine_flags_double_scans(vdoc):
+    # Force a scan before evaluation so the per-query counter trips: the
+    # engine resets counters itself, so simulate a buggy evaluator by
+    # monkeypatching reset to a no-op.
+    vdoc.reset_scan_counts()
+    vec = vdoc.vectors[("site", "people", "person", "profile", "age", "#")]
+    vec.scan_count = 2
+    original = vdoc.reset_scan_counts
+    vdoc.reset_scan_counts = lambda: None
+    try:
+        with pytest.raises(EngineInvariantError):
+            eval_query(vdoc, "/site/people/person[profile/age = '32']", mode="vx")
+    finally:
+        vdoc.reset_scan_counts = original
+        vdoc.reset_scan_counts()
+
+
+def test_unknown_mode_rejected(vdoc):
+    with pytest.raises(ValueError):
+        eval_query(vdoc, "/site", mode="turbo")
+
+
+def test_result_ordinals_are_sorted_int64(vdoc):
+    res = eval_query(vdoc, "//item[quantity > 2]", mode="vx")
+    for _, ids in res.groups:
+        assert ids.dtype == np.int64
+        assert (np.diff(ids) > 0).all()

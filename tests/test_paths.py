@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.core.paths import ranges_to_ordinals
+from repro.core.vdoc import VectorizedDocument
+
+
+@pytest.fixture()
+def vdoc():
+    return VectorizedDocument.from_xml(
+        "<r>"
+        + "".join(
+            f"<p><q>v{3 * i}</q><q>v{3 * i + 1}</q><q>v{3 * i + 2}</q></p>"
+            for i in range(4)
+        )
+        + "<p><z/></p>"
+        "</r>"
+    )
+
+
+def test_ranges_to_ordinals():
+    starts = np.array([0, 10, 20], dtype=np.int64)
+    lengths = np.array([3, 0, 2], dtype=np.int64)
+    assert ranges_to_ordinals(starts, lengths).tolist() == [0, 1, 2, 20, 21]
+    empty = ranges_to_ordinals(np.empty(0, np.int64), np.empty(0, np.int64))
+    assert len(empty) == 0
+
+
+def test_index_totals_and_runs(vdoc):
+    cat = vdoc.catalog
+    assert cat.index(("r",)).total == 1
+    assert cat.index(("r", "p")).total == 5
+    assert cat.index(("r", "p", "q")).total == 12
+    assert cat.index(("r", "p", "q", "#")).total == 12
+    assert cat.index(("r", "nope")) is None
+    assert cat.index(("x",)) is None
+    # 4 regular <p> share one skeleton node; the irregular 5th is its own run
+    assert len(cat.index(("r", "p")).runs) == 2
+
+
+def test_extension_ranges_match_child_indexes(vdoc):
+    cat = vdoc.catalog
+    # consistency: extension ordinal space == the child path's own index
+    assert cat.extension_total(("r", "p"), ("q",)) == cat.index(("r", "p", "q")).total
+    ids = np.arange(5, dtype=np.int64)
+    starts, lengths = cat.extension_ranges(("r", "p"), ids, ("q",))
+    assert lengths.tolist() == [3, 3, 3, 3, 0]
+    assert starts[:4].tolist() == [0, 3, 6, 9]
+    # ids=None (all occurrences) gives the same ranges
+    s2, l2 = cat.extension_ranges(("r", "p"), None, ("q",))
+    assert s2.tolist() == starts.tolist() and l2.tolist() == lengths.tolist()
+
+
+def test_extension_ranges_multi_level(vdoc):
+    cat = vdoc.catalog
+    starts, lengths = cat.extension_ranges(
+        ("r",), np.array([0], dtype=np.int64), ("p", "q", "#"))
+    assert starts.tolist() == [0] and lengths.tolist() == [12]
+
+
+def test_range_values_align_with_vectors(vdoc):
+    cat = vdoc.catalog
+    vec = vdoc.vectors[("r", "p", "q", "#")]
+    ids = np.array([1, 3], dtype=np.int64)
+    starts, lengths = cat.extension_ranges(("r", "p"), ids, ("q", "#"))
+    got = [vec.slice(int(s), int(s + n)) for s, n in zip(starts, lengths)]
+    assert got == [["v3", "v4", "v5"], ["v9", "v10", "v11"]]
+
+
+def test_expand_with_ancestor_column(vdoc):
+    cat = vdoc.catalog
+    ev = cat.expand(("r", "p"), np.array([0, 4], dtype=np.int64), ("q",),
+                    with_anc=True)
+    assert ev.path == ("r", "p", "q")
+    assert ev.ord.tolist() == [0, 1, 2]
+    assert ev.anc.tolist() == [0, 0, 0]
+    assert ev.total() == 3
+
+
+def test_dataguide(vdoc):
+    guide = vdoc.catalog.dataguide()
+    assert ("r",) in guide
+    assert ("r", "p", "q", "#") in guide
+    assert ("r", "p", "z") in guide
+    assert guide == sorted(guide)
+
+
+def test_irregular_interleaving_preserves_document_order():
+    # <p> children alternate b,c — runs cannot collapse, order must hold.
+    vdoc = VectorizedDocument.from_xml(
+        "<r>" + "".join(f"<p><b>b{i}</b><c>c{i}</c></p>" for i in range(3)) + "</r>"
+    )
+    cat = vdoc.catalog
+    assert cat.index(("r", "p", "b")).total == 3
+    ids = np.arange(3, dtype=np.int64)
+    starts, lengths = cat.extension_ranges(("r", "p"), ids, ("b", "#"))
+    vec = vdoc.vectors[("r", "p", "b", "#")]
+    got = [vec.slice(int(s), int(s + n)) for s, n in zip(starts, lengths)]
+    assert got == [["b0"], ["b1"], ["b2"]]

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.errors import ParseError
+from repro.xmldata import Element, Text, parse, serialize
+from repro.xmldata.escape import escape_attr, escape_text, unescape
+
+
+def test_simple_roundtrip():
+    xml = '<a x="1"><b>hi</b><c/>tail</a>'
+    tree = parse(xml)
+    assert tree.label == "a"
+    assert tree.attrs == {"x": "1"}
+    assert serialize(tree) == xml
+
+
+def test_mixed_content_order_preserved():
+    xml = "<a>x<b>y</b>z</a>"
+    tree = parse(xml)
+    kinds = [type(c).__name__ for c in tree.children]
+    assert kinds == ["Text", "Element", "Text"]
+    assert serialize(tree) == xml
+
+
+def test_entities_and_numeric_refs():
+    tree = parse("<a>&lt;&amp;&gt;&#65;&#x42;</a>")
+    assert tree.children[0].value == "<&>AB"
+    assert unescape("&quot;&apos;") == "\"'"
+
+
+def test_escaping_roundtrips():
+    value = 'a<b&c>"d\''
+    assert unescape(escape_text(value)) == value
+    assert unescape(escape_attr(value)) == value
+    tree = Element("r", {"k": value}, [Text(value)])
+    assert parse(serialize(tree)) == tree
+
+
+def test_cdata_comments_pi_doctype():
+    xml = (
+        '<?xml version="1.0"?><!DOCTYPE r [<!ENTITY x "y">]>'
+        "<r><!-- note --><![CDATA[<raw&stuff>]]><?pi data?></r>"
+    )
+    tree = parse(xml)
+    assert tree.children[0].value == "<raw&stuff>"
+
+
+def test_adjacent_text_merges_across_cdata():
+    tree = parse("<a>one<![CDATA[two]]>three</a>")
+    assert len(tree.children) == 1
+    assert tree.children[0].value == "onetwothree"
+
+
+def test_whitespace_text_preserved():
+    xml = "<a> <b/> </a>"
+    assert serialize(parse(xml)) == xml
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "<a>",
+        "<a></b>",
+        "</a>",
+        "<a><b></a></b>",
+        "<a/><b/>",
+        "text only",
+        "<a attr></a>",
+        "<a x=1/>",
+        "<a>&nope;</a>",
+        "<a><!-- unterminated</a>",
+    ],
+)
+def test_malformed_inputs_raise(bad):
+    with pytest.raises(ParseError):
+        parse(bad)
+
+
+def test_self_closing_and_attr_order():
+    xml = '<a b="1" c="2"/>'
+    tree = parse(xml)
+    assert list(tree.attrs.items()) == [("b", "1"), ("c", "2")]
+    assert serialize(tree) == xml

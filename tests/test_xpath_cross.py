@@ -1,0 +1,99 @@
+"""Cross-evaluator test (satellite): the naive tree walk and the vectorized
+evaluator must return identical results — same counts, same canonical
+content, same order — over a corpus of paths x documents, including
+wildcard and descendant axes."""
+
+import random
+
+import pytest
+
+from repro.core.engine import eval_query
+from repro.core.vdoc import VectorizedDocument
+from repro.datasets.synth import xmark_like_xml
+
+from test_roundtrip_property import random_tree
+
+DOCS = {
+    "fig1": (
+        "<bib>"
+        "<book><title>T1</title><author>A</author><author>B</author>"
+        "<publisher>SBP</publisher></book>"
+        "<book><title>T2</title><author>B</author>"
+        "<publisher>Other</publisher></book>"
+        "<article><title>T3</title><author>A</author></article>"
+        "</bib>"
+    ),
+    "mixed": (
+        '<r a="1">t1<x><y>5</y></x>t2<x><y>7</y><y>5</y></x>'
+        '<z><x><y>5</y></x></z><w id="k"><y>9</y></w></r>'
+    ),
+    "xmark": xmark_like_xml(40, seed=7),
+}
+
+QUERIES = [
+    "/bib/book/title",
+    "/bib/book/author",
+    "/bib/book[publisher = 'SBP']/title",
+    "/bib/book[author = 'B']/title/text()",
+    "/bib/*/title",
+    "//author",
+    "//book[publisher != 'SBP']/author",
+    "/r/x/y",
+    "/r/x[y = '5']",
+    "/r/x[y > 4]/y/text()",
+    "//x/y",
+    "//x[y = '5']",
+    "/r//y",
+    "/r/*",
+    "//*[y = '5']",
+    "/r/w/@id",
+    "/r[@a = '1']/x",
+    "//w[@id = 'k']",
+    "/r/text()",
+    "//y/text()",
+    "/site/people/person/name",
+    "/site/people/person[profile/age = '32']/name",
+    "/site/people/person[profile/age >= 60]/emailaddress/text()",
+    "/site/regions/*/item[location = 'Japan']/name",
+    "//item[quantity < 3]",
+    "//person[phone]/profile/age",
+    "/site//interest",
+    "//item[@id = 'item5']/location/text()",
+    "/site/closed_auctions/closed_auction[price <= 100]/date",
+    "//*[age]",
+]
+
+
+def _both(vdoc, query):
+    vx = eval_query(vdoc, query, mode="vx")
+    naive = eval_query(vdoc, query, mode="naive")
+    return vx, naive
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("doc", sorted(DOCS))
+def test_cross_evaluator_corpus(doc, query):
+    vdoc = VectorizedDocument.from_xml(DOCS[doc])
+    vx, naive = _both(vdoc, query)
+    assert vx.count() == naive.count()
+    assert vx.canonical() == naive.canonical()
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_cross_evaluator_random_docs(seed):
+    rng = random.Random(seed + 500)
+    vdoc = VectorizedDocument.from_tree(random_tree(rng))
+    for query in [
+        "//a", "//b/text()", "/a/b", "//item", "//*[id]", "//c[id = 'x']",
+        "//*/a", "//data//b", "/a//c/@id",
+    ]:
+        vx, naive = _both(vdoc, query)
+        assert vx.count() == naive.count(), query
+        assert vx.canonical() == naive.canonical(), query
+
+
+def test_text_values_agree():
+    vdoc = VectorizedDocument.from_xml(DOCS["xmark"])
+    q = "/site/people/person/profile/age/text()"
+    vx, naive = _both(vdoc, q)
+    assert vx.text_values() == naive.text_values()

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.core.xpath import CHILD, DESCENDANT, parse_xpath
+from repro.errors import XPathSyntaxError
+
+
+def test_simple_path():
+    p = parse_xpath("/a/b/c")
+    assert [s.test for s in p.steps] == ["a", "b", "c"]
+    assert all(s.axis == CHILD for s in p.steps)
+
+
+def test_descendant_wildcard_text_attr():
+    p = parse_xpath("//a/*/text()")
+    assert p.steps[0].axis == DESCENDANT
+    assert p.steps[1].test == "*"
+    assert p.steps[2].test == "#"
+    p = parse_xpath("/a//b/@id")
+    assert p.steps[1].axis == DESCENDANT
+    assert p.steps[2].test == "@id"
+
+
+def test_predicates():
+    p = parse_xpath("/a/b[c/d = 'x'][e]/f[g != \"y\"][h/text() <= 3]")
+    b = p.steps[1]
+    assert b.preds[0].relpath == ("c", "d")
+    assert b.preds[0].op == "=" and b.preds[0].value == "x"
+    assert b.preds[1].relpath == ("e",) and b.preds[1].op is None
+    f = p.steps[2]
+    assert f.preds[0].op == "!=" and f.preds[0].value == "y"
+    assert f.preds[1].relpath == ("h", "#")
+    assert f.preds[1].op == "<=" and f.preds[1].value == "3"
+
+
+def test_attr_predicate():
+    p = parse_xpath("/a/b[@id = '7']")
+    assert p.steps[1].preds[0].relpath == ("@id",)
+
+
+def test_roundtrip_str():
+    s = "/a//b[c = 'x']/text()"
+    assert str(parse_xpath(s)).replace(" ", "") == s.replace(" ", "")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "a/b",            # relative
+        "/a/b[",          # unterminated predicate
+        "/a/text()/b",    # text() not last
+        "/a/@id/b",       # attr followed by element
+        "/a[*]",          # wildcard in predicate
+        "/a[b//c]",       # descendant in predicate
+        "/a/b[c = ]",     # missing literal
+        "/",              # empty step
+        "",               # empty
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath(bad)
