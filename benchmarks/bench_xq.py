@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""XQ benchmark: graph reduction over extended vectors vs. the naive
+nested-loop reference on the reconstructed tree.
+
+For each document size the same XQ queries (joins + selections, the
+workload of paper §4) run two ways:
+
+* ``naive`` — reconstruct the full tree from (skeleton, vectors), then
+  evaluate the FLWR expression with nested loops node at a time;
+* ``vx``    — compile to (Gq, Gr), order operations with the heuristic
+  planner, reduce Gq edge-at-a-time over extended vectors and instantiate
+  Gr with stepwise hash-cons compression — zero decompression and at most
+  one scan per touched vector, both machine-asserted by the engine.
+
+Answers are checked byte-identical (after serialization) before timing.
+Results go to BENCH_xq.json.  Exits nonzero if reduction does not beat
+naive on every query at the largest size (disable with --no-assert;
+--smoke uses tiny documents).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro import __version__  # noqa: E402
+from repro.core.engine import eval_xq  # noqa: E402
+from repro.core.vdoc import VectorizedDocument  # noqa: E402
+from repro.core.xquery.parser import parse_xq  # noqa: E402
+from repro.datasets.synth import xmark_like_xml  # noqa: E402
+from repro.util import Timer, best_of, fmt_table, human_count  # noqa: E402
+
+QUERIES = {
+    "XQ1-selection":
+        "for $p in /site/people/person where $p/profile/age >= '60' "
+        "return <r>{$p/name}</r>",
+    "XQ2-desc-selection":
+        "for $i in //item where $i/location = 'United States' "
+        "return <hit>{$i/name/text()}</hit>",
+    "XQ3-value-join":
+        "for $c in /site/closed_auctions/closed_auction, "
+        "$p in /site/people/person where $c/buyer = $p/@id "
+        "return <pair>{$p/name}{$c/price}</pair>",
+    "XQ4-join-plus-selection":
+        "for $c in //closed_auction, $p in //person "
+        "where $p/profile/age > '40' and $c/buyer = $p/@id "
+        "return <r>{$p/emailaddress}{$c/date}</r>",
+    "XQ5-nested-vars":
+        "for $p in /site/people/person, $i in $p/profile/interest "
+        "where $i = 'databases' return <fan>{$p/@id}</fan>",
+}
+
+
+def run(sizes: list[int], repeat: int, out_path: str, do_assert: bool) -> int:
+    records = []
+    for n_people in sizes:
+        with Timer() as t_gen:
+            xml = xmark_like_xml(n_people, seed=42)
+        with Timer() as t_vec:
+            vdoc = VectorizedDocument.from_xml(xml)
+        stats = vdoc.stats()
+        print(
+            f"\n== n_people={n_people}  nodes={human_count(stats['document_nodes'])}"
+            f"  skeleton={stats['skeleton_nodes']} nodes"
+            f"  vectors={stats['vectors']}"
+            f"  (gen {t_gen.elapsed:.2f}s, vectorize {t_vec.elapsed:.2f}s)"
+        )
+        for name, query in QUERIES.items():
+            xq = parse_xq(query)
+            # sanity: byte-identical serialized answers before timing
+            vx_res = eval_xq(vdoc, xq, mode="vx")
+            nv_res = eval_xq(vdoc, xq, mode="naive")
+            assert vx_res.to_xml() == nv_res.to_xml(), name
+            t_naive = best_of(lambda: eval_xq(vdoc, xq, mode="naive"),
+                              repeat)
+            t_vx = best_of(lambda: eval_xq(vdoc, xq, mode="vx"), repeat)
+            records.append({
+                "n_people": n_people,
+                "document_nodes": stats["document_nodes"],
+                "skeleton_nodes": stats["skeleton_nodes"],
+                "vectors": stats["vectors"],
+                "query": name,
+                "xq": query,
+                "result_tuples": vx_res.n_tuples,
+                "t_naive_s": t_naive,
+                "t_vx_s": t_vx,
+                "speedup": t_naive / t_vx if t_vx > 0 else float("inf"),
+            })
+
+    headers = ["nodes", "query", "tuples", "naive (ms)", "vx (ms)", "speedup"]
+    rows = [
+        [human_count(r["document_nodes"]), r["query"], r["result_tuples"],
+         f"{r['t_naive_s'] * 1e3:.2f}", f"{r['t_vx_s'] * 1e3:.3f}",
+         f"{r['speedup']:.1f}x"]
+        for r in records
+    ]
+    print("\n" + fmt_table(headers, rows))
+
+    largest = max(sizes)
+    at_largest = [r for r in records if r["n_people"] == largest]
+    min_speedup = min(r["speedup"] for r in at_largest)
+    geo = 1.0
+    for r in at_largest:
+        geo *= r["speedup"]
+    geo **= 1.0 / len(at_largest)
+    print(f"\nlargest size: min speedup {min_speedup:.1f}x, "
+          f"geomean {geo:.1f}x over {len(at_largest)} queries")
+
+    payload = {
+        "bench": "xq_reduction_vs_naive",
+        "version": __version__,
+        "sizes_n_people": sizes,
+        "repeat": repeat,
+        "records": records,
+        "largest_size": {
+            "n_people": largest,
+            "min_speedup": min_speedup,
+            "geomean_speedup": geo,
+        },
+    }
+    pathlib.Path(out_path).write_text(json.dumps(payload, indent=2) + "\n",
+                                      encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    if do_assert and min_speedup < 1.0:
+        print(f"FAIL: expected reduction to beat naive on every query at "
+              f"the largest size, got {min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--sizes", default=None,
+                    help="comma-separated n_people sizes (default 500,2000,"
+                         "4000 — the naive nested-loop join is quadratic, so "
+                         "sizes are smaller than the XPath benchmark's)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny documents for CI (no speedup assertion)")
+    ap.add_argument("--repeat", type=int, default=2)
+    ap.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_xq.json"))
+    ap.add_argument("--no-assert", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.sizes:
+        sizes = [int(s) for s in args.sizes.split(",")]
+    elif args.smoke:
+        sizes = [50, 200, 800]
+    else:
+        sizes = [500, 2000, 4000]
+    do_assert = not (args.no_assert or args.smoke)
+    return run(sizes, args.repeat, args.out, do_assert)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

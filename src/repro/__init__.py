@@ -10,7 +10,7 @@ Public entry points::
     result.count(); result.canonical()
 """
 
-from .core.engine import eval_query
+from .core.engine import eval_query, eval_xq
 from .core.vdoc import VectorizedDocument
 from .errors import (
     DecompressionForbiddenError,
@@ -18,6 +18,8 @@ from .errors import (
     ParseError,
     ReproError,
     XPathSyntaxError,
+    XQCompileError,
+    XQSyntaxError,
 )
 from .xmldata import parse, serialize
 
@@ -25,12 +27,15 @@ __version__ = "0.1.0"
 
 __all__ = [
     "eval_query",
+    "eval_xq",
     "VectorizedDocument",
     "parse",
     "serialize",
     "ReproError",
     "ParseError",
     "XPathSyntaxError",
+    "XQSyntaxError",
+    "XQCompileError",
     "DecompressionForbiddenError",
     "EngineInvariantError",
     "__version__",

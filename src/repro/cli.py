@@ -3,9 +3,15 @@
 Subcommands::
 
     repro-xq stats FILE                      vectorization statistics
-    repro-xq query FILE XPATH [--mode vx|naive] [--values] [--canonical]
+    repro-xq query FILE QUERY [--mode vx|naive] [--values] [--canonical]
+                              [--plan]
     repro-xq reconstruct FILE                vectorize then decompress back
     repro-xq gen N [--seed S]                synthetic XMark-like document
+
+``query`` dispatches on the query text: a leading ``/`` is an XPath of
+P[*,//]; anything else is an XQ FLWR expression (``for .. where ..
+return ..``), evaluated by graph reduction (``--plan`` prints the
+heuristic operation order first).
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import os
 import sys
 
 from . import __version__
-from .core.engine import eval_query
+from .core.engine import XQVXResult, eval_query, eval_xq
 from .core.vdoc import VectorizedDocument
 from .datasets.synth import xmark_like_xml
 from .errors import ReproError
@@ -37,14 +43,20 @@ def main(argv: list[str] | None = None) -> int:
     p_stats = sub.add_parser("stats", help="vectorization statistics")
     p_stats.add_argument("file")
 
-    p_query = sub.add_parser("query", help="evaluate an XPath query")
+    p_query = sub.add_parser("query", help="evaluate an XPath or XQ query")
     p_query.add_argument("file")
-    p_query.add_argument("xpath")
+    p_query.add_argument("xpath", metavar="query",
+                         help="an XPath (starts with '/') or an XQ FLWR "
+                              "expression")
     p_query.add_argument("--mode", choices=("vx", "naive"), default="vx")
     p_query.add_argument("--values", action="store_true",
-                         help="print text values of text-path results")
+                         help="XPath only: print text values of text-path "
+                              "results")
     p_query.add_argument("--canonical", action="store_true",
-                         help="print canonical content of each result")
+                         help="XPath only: print canonical content of each "
+                              "result")
+    p_query.add_argument("--plan", action="store_true",
+                         help="XQ only: print the heuristic reduction plan")
 
     p_rec = sub.add_parser("reconstruct",
                            help="vectorize, then decompress back to XML")
@@ -61,14 +73,21 @@ def main(argv: list[str] | None = None) -> int:
             for k, v in stats.items():
                 print(f"{k:16} {v}")
         elif args.cmd == "query":
-            result = eval_query(_load(args.file), args.xpath, mode=args.mode)
-            print(f"count {result.count()}")
-            if args.values:
-                for v in result.text_values():
-                    print(v)
-            if args.canonical:
-                for item in result.canonical():
-                    print(item)
+            text = args.xpath.lstrip()
+            if text.startswith("/"):
+                result = eval_query(_load(args.file), text, mode=args.mode)
+                print(f"count {result.count()}")
+                if args.values:
+                    for v in result.text_values():
+                        print(v)
+                if args.canonical:
+                    for item in result.canonical():
+                        print(item)
+            else:
+                result = eval_xq(_load(args.file), text, mode=args.mode)
+                if args.plan and isinstance(result, XQVXResult):
+                    print(result.plan.explain(), file=sys.stderr)
+                print(result.to_xml())
         elif args.cmd == "reconstruct":
             sys.stdout.write(_load(args.file).to_xml())
         elif args.cmd == "gen":

@@ -1,7 +1,7 @@
 """Core of the vectorized store: skeletons, vectors, position algebra,
 XPath evaluators and the query engine."""
 
-from .engine import TreeResult, eval_query
+from .engine import TreeResult, XQTreeResult, XQVXResult, eval_query, eval_xq
 from .paths import ExtendedVector, PathIndex, PathsCatalog, ranges_to_ordinals
 from .reconstruct import forbid_decompression
 from .reconstruct import reconstruct as reconstruct_tree
@@ -12,7 +12,10 @@ from .vectors import Vector
 
 __all__ = [
     "TreeResult",
+    "XQTreeResult",
+    "XQVXResult",
     "eval_query",
+    "eval_xq",
     "ExtendedVector",
     "PathIndex",
     "PathsCatalog",

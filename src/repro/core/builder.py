@@ -1,0 +1,154 @@
+"""Result construction (paper §4.3): instantiate ``Gr`` into a vectorized
+result *without decompressing* either document.
+
+The output document shares the input's :class:`NodeStore`: splicing a
+source subtree into the result is a single id reuse — the run-length index
+maps each spliced occurrence ordinal back to its skeleton node
+(``run_nodes[run_of(ord)]``), uniformly for elements, attributes and text.
+Fresh template elements are interned per row bottom-up, so identical rows
+collapse immediately — result compression happens *stepwise during
+construction* (hash-consing), never as a separate pass over a materialized
+tree.
+
+Output data vectors are assembled columnar: for each spliced path, the
+text paths below it are enumerated on the dataguide, their value ranges
+located with the position algebra, and copied with bulk positional
+gathers; a final lexicographic sort by (global row, template leaf,
+source sequence) puts every output vector in output-document order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .paths import ranges_to_ordinals
+from .qgraph import ResultSkeleton
+from .reduction import ReducedTable
+from .vdoc import VectorizedDocument
+from .vectors import Vector
+from .xquery.ast import TElem, TSplice, TText
+
+
+def _template_leaves(gr: ResultSkeleton) -> list[tuple]:
+    """Text/splice leaves in template preorder, each with the label path of
+    its enclosing output element (starting at the result root)."""
+    leaves: list[tuple] = []
+
+    def walk(item, opath: tuple) -> None:
+        if isinstance(item, TText):
+            leaves.append(("text", item, opath))
+        elif isinstance(item, TSplice):
+            leaves.append(("splice", item, opath))
+        else:
+            assert isinstance(item, TElem)
+            for c in item.children:
+                walk(c, (*opath, item.tag))
+
+    for item in gr.items:
+        walk(item, (gr.root_tag,))
+    return leaves
+
+
+def build_result(vdoc, gr: ResultSkeleton,
+                 table: ReducedTable) -> VectorizedDocument:
+    """Instantiate the result skeleton once per binding tuple."""
+    store = vdoc.store
+    catalog = vdoc.catalog
+    guide = catalog.dataguide()
+    leaves = _template_leaves(gr)
+    n_rows = table.n_rows
+
+    # per-global-row lists of top-level result node ids
+    row_children: list[list[int]] = [[] for _ in range(n_rows)]
+    # output vector parts: path -> [(values, global rows, leaf idx, seq)]
+    acc: dict[tuple, list] = {}
+
+    for combo in table.combos:
+        n = len(combo)
+        if n == 0:
+            continue
+        rowsg = combo.rows_global
+        # resolve each splice leaf to (spliced node ids, per-row offsets)
+        splices: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for li, (kind, item, opath) in enumerate(leaves):
+            if kind == "text":
+                acc.setdefault((*opath, "#"), []).append((
+                    np.full(n, item.value), rowsg,
+                    np.zeros(n, dtype=np.int64) + li,
+                    np.zeros(n, dtype=np.int64)))
+                continue
+            cp = combo.var_paths[item.var]
+            col = combo.cols[item.var]
+            if item.rel:
+                scp = (*cp, *item.rel)
+                if cp[-1] == "#" or catalog.index(scp) is None:
+                    splices[li] = (np.empty(0, dtype=np.int64),
+                                   np.zeros(n + 1, dtype=np.int64))
+                    continue
+                starts, lengths = catalog.extension_ranges(cp, col, item.rel)
+                ords = ranges_to_ordinals(starts, lengths)
+            else:
+                scp = cp
+                ords = col
+                lengths = np.ones(n, dtype=np.int64)
+            pidx = catalog.index(scp)
+            node_ids = pidx.run_nodes[pidx.run_of(ords)]
+            offsets = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(lengths)))
+            splices[li] = (node_ids, offsets)
+
+            # copy every text path below the spliced nodes into the output
+            k = len(scp)
+            if scp[-1] == "#":
+                rels: list[tuple] = [()]
+            else:
+                rels = sorted(g[k:] for g in guide
+                              if len(g) > k and g[:k] == scp
+                              and g[-1] == "#")
+            row_of_ord = np.repeat(np.arange(n, dtype=np.int64), lengths)
+            for rt in rels:
+                st, lt = catalog.extension_ranges(scp, ords, rt)
+                ot = ranges_to_ordinals(st, lt)
+                if len(ot) == 0:
+                    continue
+                vals = vdoc.vectors[(*scp, *rt)].gather(ot)
+                acc.setdefault((*opath, scp[-1], *rt), []).append((
+                    vals, rowsg[np.repeat(row_of_ord, lt)],
+                    np.zeros(len(ot), dtype=np.int64) + li,
+                    np.arange(len(ot), dtype=np.int64)))
+
+        # assemble the skeleton bottom-up, one row at a time: fresh template
+        # elements are interned immediately — stepwise compression
+        def instantiate(item, r: int, counter: list[int]) -> list[int]:
+            if isinstance(item, TText):
+                counter[0] += 1
+                return [store.text_id]
+            if isinstance(item, TSplice):
+                li = counter[0]
+                counter[0] += 1
+                ids, offs = splices[li]
+                return [int(x) for x in ids[offs[r]:offs[r + 1]]]
+            kids = [cid for c in item.children
+                    for cid in instantiate(c, r, counter)]
+            return [store.intern_list(item.tag, kids)]
+
+        for r in range(n):
+            counter = [0]
+            kids = [cid for item in gr.items
+                    for cid in instantiate(item, r, counter)]
+            row_children[int(rowsg[r])] = kids
+
+    root_id = store.intern_list(
+        gr.root_tag, [cid for kids in row_children for cid in kids])
+
+    out_vectors: dict[tuple, Vector] = {}
+    for path, parts in acc.items():
+        vals = np.concatenate([p[0] for p in parts])
+        rows = np.concatenate([p[1] for p in parts])
+        items = np.concatenate([p[2] for p in parts])
+        seqs = np.concatenate([p[3] for p in parts])
+        # output-document order: by result row, then template leaf (their
+        # preorder is the constructed document order), then source sequence
+        order = np.lexsort((seqs, items, rows))
+        out_vectors[path] = Vector(path, vals[order])
+    return VectorizedDocument(store, root_id, out_vectors)

@@ -17,14 +17,31 @@ walk it node at a time.
 from __future__ import annotations
 
 from ..errors import EngineInvariantError
+from ..xmldata.serializer import serialize
+from .builder import build_result
+from .planner import plan_query
+from .qgraph import compile_query
 from .reconstruct import forbid_decompression, reconstruct
+from .reduction import reduce_query
 from .vdoc import VectorizedDocument
 from .xpath.ast import Path
 from .xpath.parser import parse_xpath
-from .xpath.tree_eval import canonical_item, evaluate_tree, node_path
-from .xpath.vx_eval import VXResult, evaluate_vx
+from .xpath.tree_eval import canonical_item, evaluate_tree
+from .xpath.vx_eval import VectorCache, VXResult, evaluate_vx
+from .xquery.ast import XQuery
+from .xquery.naive import evaluate_xq_tree
+from .xquery.parser import parse_xq
 
 MODES = ("vx", "naive")
+
+
+def _check_scan_once(vdoc: VectorizedDocument) -> None:
+    over = [p for p, v in vdoc.vectors.items() if v.scan_count > 1]
+    if over:
+        raise EngineInvariantError(
+            "vectors scanned more than once in one query: "
+            + ", ".join("/".join(p) for p in over)
+        )
 
 
 class TreeResult:
@@ -44,14 +61,9 @@ class TreeResult:
         return [n.value for n in self.nodes if isinstance(n, Text)]
 
     def canonical(self) -> list[tuple]:
-        """Canonical items grouped by concrete path (sorted), document order
-        within a group — the same ordering contract as ``VXResult``."""
-        paths = node_path(self.tree, {id(n) for n in self.nodes})
-        keyed = sorted(
-            range(len(self.nodes)),
-            key=lambda i: (paths[id(self.nodes[i])], i),
-        )
-        return [canonical_item(self.nodes[i]) for i in keyed]
+        """Canonical items in document order — the same ordering contract as
+        ``VXResult`` (which interleaves concrete paths by preorder rank)."""
+        return [canonical_item(n) for n in self.nodes]
 
 
 def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx"):
@@ -67,10 +79,58 @@ def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx"):
     vdoc.reset_scan_counts()
     with forbid_decompression():
         result: VXResult = evaluate_vx(vdoc, path)
-    over = [p for p, v in vdoc.vectors.items() if v.scan_count > 1]
-    if over:
-        raise EngineInvariantError(
-            "vectors scanned more than once in one query: "
-            + ", ".join("/".join(p) for p in over)
-        )
+    _check_scan_once(vdoc)
     return result
+
+
+class XQTreeResult:
+    """Naive XQ result: a constructed document tree."""
+
+    def __init__(self, tree):
+        self.tree = tree
+
+    def to_xml(self) -> str:
+        return serialize(self.tree)
+
+
+class XQVXResult:
+    """Vectorized XQ result: a result VectorizedDocument (sharing the
+    input's node store), plus the plan and tuple table for inspection."""
+
+    def __init__(self, out, plan, table):
+        self.vdoc = out
+        self.plan = plan
+        self.table = table
+        self.n_tuples = table.n_rows
+
+    def to_xml(self) -> str:
+        # decompresses the (typically small) *result*, outside the query
+        return self.vdoc.to_xml()
+
+
+def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx"):
+    """Evaluate an XQ query (string or parsed :class:`XQuery`).
+
+    ``vx`` compiles to (Gq, Gr), plans, reduces over extended vectors and
+    constructs the result — all inside :func:`forbid_decompression` and
+    under the scan-at-most-once assertion.  ``naive`` reconstructs the
+    tree and runs the nested-loop reference evaluator.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    xq = query if isinstance(query, XQuery) else parse_xq(query)
+    gq, gr = compile_query(xq)
+
+    if mode == "naive":
+        tree = reconstruct(vdoc.store, vdoc.root, vdoc.vectors)
+        out = evaluate_xq_tree(tree, xq)
+        return XQTreeResult(out)
+
+    vdoc.reset_scan_counts()
+    with forbid_decompression():
+        plan = plan_query(gq, vdoc)
+        cache = VectorCache(vdoc.vectors)
+        table = reduce_query(vdoc, gq, plan, cache)
+        out = build_result(vdoc, gr, table)
+    _check_scan_once(vdoc)
+    return XQVXResult(out, plan, table)

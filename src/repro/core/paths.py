@@ -120,6 +120,10 @@ class PathsCatalog:
         }
         self._ext: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
         self._guide: list[tuple] | None = None
+        self._order: dict[tuple, np.ndarray] = {
+            root_path: np.zeros(1, dtype=np.int64)
+        }
+        self._loc: dict[tuple[int, str], np.ndarray] = {}
 
     # -- index construction ----------------------------------------------
 
@@ -181,6 +185,59 @@ class PathsCatalog:
         self._guide = paths
         return paths
 
+    # -- document order across paths ---------------------------------------
+
+    def _local_offsets(self, node: int, label: str) -> np.ndarray:
+        """Preorder offsets (within one instance of ``node``, whose own
+        offset is 0) of its ``label``-children, in document order."""
+        key = (node, label)
+        cached = self._loc.get(key)
+        if cached is not None:
+            return cached
+        store = self.store
+        segs: list[np.ndarray] = []
+        base = 1  # the first child starts right after the node itself
+        for child, count in store.children(node):
+            size = store.node_count(child)
+            if store.label(child) == label:
+                segs.append(base + np.arange(count, dtype=np.int64) * size)
+            base += count * size
+        out = (np.concatenate(segs) if segs
+               else np.empty(0, dtype=np.int64))
+        self._loc[key] = out
+        return out
+
+    def order_keys(self, path: tuple) -> np.ndarray:
+        """Global preorder rank of every occurrence of ``path``.
+
+        Ranks are the node's position in a preorder walk of the
+        *decompressed* document (attributes first, as XPath sees them), but
+        are computed entirely on the compressed skeleton: per parent run the
+        child ranks are ``parent rank + local offset`` — one ``np.repeat``
+        and tile per run.  Ranks of occurrences of *different* label paths
+        are directly comparable, which is what lets ``//`` and ``*`` results
+        be interleaved into true document order without decompression.
+        """
+        for depth in range(2, len(path) + 1):
+            prefix = path[:depth]
+            if prefix in self._order:
+                continue
+            pk = self._order[prefix[:-1]]
+            pidx = self.index(prefix[:-1])
+            assert pidx is not None, prefix
+            label = prefix[-1]
+            segs: list[np.ndarray] = []
+            for i, (node, k) in enumerate(pidx.runs):
+                loc = self._local_offsets(node, label)
+                if len(loc) == 0:
+                    continue
+                start = int(pidx.run_start[i])
+                pr = pk[start : start + k]
+                segs.append((pr[:, None] + loc[None, :]).ravel())
+            self._order[prefix] = (np.concatenate(segs) if segs
+                                   else np.empty(0, dtype=np.int64))
+        return self._order[path]
+
     # -- extension statistics (the position algebra) ----------------------
 
     def _ext_stats(self, path: tuple, rel: tuple):
@@ -192,12 +249,9 @@ class PathsCatalog:
             return cached
         pidx = self.index(path)
         assert pidx is not None
-        uniq, inverse = np.unique(pidx.run_nodes, return_inverse=True)
-        per_uniq = np.fromiter(
-            (self.store.occ(int(n), rel) for n in uniq), dtype=np.int64,
-            count=len(uniq),
-        )
-        counts = per_uniq[inverse]  # occ(run node, rel) per run
+        # Bulk per-node statistics: one column lookup instead of per-run
+        # memoized recursion.
+        counts = self.store.occ_column(rel)[pidx.run_nodes]
         weighted = pidx.run_counts * counts
         base = np.cumsum(weighted) - weighted  # exclusive prefix sum
         self._ext[key] = (counts, base)

@@ -1,0 +1,152 @@
+"""Heuristic operation ordering for graph reduction (paper §4.1, step 3).
+
+``Gq`` is reduced one edge at a time; the order is a topological sort of
+the operations (a variable must be instantiated before anything that
+filters it) refined by the classic relational heuristics the paper cites:
+
+* **selections before joins** — constant edges are applied as soon as
+  their variable is instantiated, joins only once both sides are;
+* **cheapest vector first** — among ready selections (and ready joins)
+  the one whose operand vector is smallest goes first, estimated from the
+  skeleton's bulk ``occ`` statistics (``extension_total`` — no vector is
+  touched to plan);
+* projections that unlock selections are preferred over bare projections,
+  tie-broken by smallest estimated instantiation.
+
+The plan is computed once per query against aggregate dataguide
+statistics and reused for every concrete-path combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .qgraph import ConstEdge, EqEdge, QueryGraph, TreeEdge
+from .xpath.vx_eval import _alignments
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    kind: str      # 'instantiate' | 'select' | 'join'
+    payload: TreeEdge | ConstEdge | EqEdge
+    cost: float    # statistics estimate used to order the op
+
+    def __str__(self) -> str:
+        return f"{self.kind:11s} {self.payload}  (est {self.cost:.0f})"
+
+
+@dataclass
+class Plan:
+    ops: list[PlanOp]
+
+    def explain(self) -> str:
+        return "\n".join(f"{i + 1}. {op}" for i, op in enumerate(self.ops))
+
+
+def _var_paths(gq: QueryGraph, vdoc) -> dict[str, list[tuple]]:
+    """Concrete label paths each variable may bind to (dataguide matches),
+    used for cost aggregation only (enumeration happens in reduction)."""
+    catalog = vdoc.catalog
+    guide = catalog.dataguide()
+    out: dict[str, list[tuple]] = {}
+    for var in gq.variables:
+        edge = gq.tree_edges[var]
+        if edge.parent is None:
+            steps = edge.abs_path.steps
+            out[var] = [cp for cp in guide if _alignments(steps, cp)]
+        else:
+            matches: list[tuple] = []
+            for base in out.get(edge.parent, ()):
+                k = len(base)
+                for g in guide:
+                    if len(g) > k and g[:k] == base and \
+                            _alignments(edge.steps, g[k:]):
+                        matches.append(g)
+            out[var] = matches
+    return out
+
+
+def _cardinality(vdoc, cpaths: list[tuple]) -> float:
+    """Total occurrences over all candidate concrete paths."""
+    catalog = vdoc.catalog
+    total = 0
+    for cp in cpaths:
+        idx = catalog.index(cp)
+        if idx is not None:
+            total += idx.total
+    return float(total)
+
+
+def _text_cardinality(vdoc, cpaths: list[tuple], rel: tuple) -> float:
+    """Total matching text occurrences under the candidate paths — the size
+    of the vector(s) a selection/join side would scan."""
+    catalog = vdoc.catalog
+    total = 0
+    for cp in cpaths:
+        use_rel = rel
+        if cp and cp[-1] == "#":
+            use_rel = rel[:-1] if rel and rel[-1] == "#" else rel
+        total += catalog.extension_total(cp, use_rel)
+    return float(total)
+
+
+def plan_query(gq: QueryGraph, vdoc) -> Plan:
+    """Topological + heuristic operation ordering for one document."""
+    var_paths = _var_paths(gq, vdoc)
+    var_card = {v: _cardinality(vdoc, var_paths[v]) for v in gq.variables}
+    sel_cost = {
+        id(s): _text_cardinality(vdoc, var_paths[s.var], s.rel)
+        for s in gq.selections
+    }
+    join_cost = {
+        id(j): _text_cardinality(vdoc, var_paths[j.var1], j.rel1)
+        + _text_cardinality(vdoc, var_paths[j.var2], j.rel2)
+        for j in gq.joins
+    }
+
+    placed: set[str] = set()
+    pending_sel = list(gq.selections)
+    pending_join = list(gq.joins)
+    pending_var = list(gq.variables)
+    ops: list[PlanOp] = []
+
+    def flush_filters() -> None:
+        """Apply every ready selection, then every ready join — cheapest
+        first within each class."""
+        while True:
+            ready = [s for s in pending_sel if s.var in placed]
+            if not ready:
+                break
+            ready.sort(key=lambda s: (sel_cost[id(s)],
+                                      gq.selections.index(s)))
+            s = ready[0]
+            pending_sel.remove(s)
+            ops.append(PlanOp("select", s, sel_cost[id(s)]))
+        while True:
+            ready = [j for j in pending_join
+                     if j.var1 in placed and j.var2 in placed]
+            if not ready:
+                break
+            ready.sort(key=lambda j: (join_cost[id(j)], gq.joins.index(j)))
+            j = ready[0]
+            pending_join.remove(j)
+            ops.append(PlanOp("join", j, join_cost[id(j)]))
+
+    while pending_var:
+        ready = [v for v in pending_var
+                 if gq.tree_edges[v].parent is None
+                 or gq.tree_edges[v].parent in placed]
+        assert ready, "tree edges form a forest over earlier bindings"
+        # prefer instantiating a variable some pending selection filters
+        with_sel = [v for v in ready
+                    if any(s.var == v for s in pending_sel)]
+        pool = with_sel or ready
+        pool.sort(key=lambda v: (var_card[v], gq.variables.index(v)))
+        v = pool[0]
+        pending_var.remove(v)
+        placed.add(v)
+        ops.append(PlanOp("instantiate", gq.tree_edges[v], var_card[v]))
+        flush_filters()
+
+    assert not pending_sel and not pending_join
+    return Plan(ops)

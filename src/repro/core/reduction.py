@@ -1,0 +1,282 @@
+"""Graph reduction over extended vectors (paper §4.2) — the XQ hot path.
+
+The query graph ``Gq`` is evaluated collection-at-a-time: the state is a
+*tuple table* — one int64 occurrence-ordinal column per instantiated
+variable, all of equal length; a row is one candidate binding tuple.  The
+planner's operations reduce ``Gq`` edge by edge:
+
+* **instantiate** (tree edge) — root variables come from one vectorized
+  XPath evaluation (shared :class:`VectorCache`); relative variables are a
+  positional join: ``extension_ranges`` + prefix-sum materialization, with
+  the other columns replicated by ``np.repeat``;
+* **select** (constant edge) — one vectorized comparison over the text
+  vector plus a prefix-sum existential per row;
+* **join** (equality edge) — existential set comparison per row, entirely
+  columnar (value codes from ``np.unique`` + key intersection for ``=`` /
+  ``!=``; per-row min/max aggregation for the ordering operators).
+
+Variables range over *concrete* label paths, so a query over wildcard or
+descendant bindings is a small union of per-combination reductions — one
+per assignment of variables to dataguide paths, exactly the paper's
+expansion of ``//`` against the skeleton.  Each touched vector is loaded
+through the shared cache (scanned at most once for the whole query) and
+the skeleton is never decompressed.
+
+The final cross-combination ordering uses the catalog's global preorder
+ranks: sorting rows by the rank of each variable (outermost first)
+reproduces the nested-loop document order of the naive evaluator exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .paths import ranges_to_ordinals
+from .planner import Plan
+from .qgraph import ConstEdge, EqEdge, QueryGraph
+from .xpath.vx_eval import VectorCache, _alignments, evaluate_vx, pred_mask
+
+
+@dataclass
+class ComboRows:
+    """Surviving rows of one variable→concrete-path assignment."""
+
+    var_paths: dict[str, tuple]      # variable -> concrete label path
+    cols: dict[str, np.ndarray]      # variable -> ordinal column
+    rows_global: np.ndarray          # per-row index into the global order
+
+    def __len__(self) -> int:
+        return len(self.rows_global)
+
+
+@dataclass
+class ReducedTable:
+    """Union of all combination tables, globally ordered."""
+
+    variables: list[str]
+    combos: list[ComboRows]
+    n_rows: int
+
+
+def _enumerate_combos(gq: QueryGraph, vdoc, cache: VectorCache) -> list[dict]:
+    """All assignments of variables to concrete dataguide paths.
+
+    Root variables carry their (already predicate-filtered) ordinal sets
+    from a single vectorized XPath evaluation per source; relative
+    variables only fix a path here — their ordinals come from positional
+    expansion during reduction.
+    """
+    catalog = vdoc.catalog
+    guide = catalog.dataguide()
+    root_groups: dict[str, list[tuple]] = {}
+    for var in gq.variables:
+        edge = gq.tree_edges[var]
+        if edge.parent is None:
+            root_groups[var] = evaluate_vx(vdoc, edge.abs_path, cache).groups
+
+    combos: list[dict] = []
+
+    def rec(i: int, assign: dict) -> None:
+        if i == len(gq.variables):
+            combos.append(dict(assign))
+            return
+        var = gq.variables[i]
+        edge = gq.tree_edges[var]
+        if edge.parent is None:
+            for cpath, ids in root_groups[var]:
+                assign[var] = (cpath, ids)
+                rec(i + 1, assign)
+        else:
+            base = assign[edge.parent][0]
+            k = len(base)
+            for g in guide:
+                if len(g) > k and g[:k] == base \
+                        and _alignments(edge.steps, g[k:]):
+                    assign[var] = (g, None)
+                    rec(i + 1, assign)
+        assign.pop(var, None)
+
+    rec(0, {})
+    return combos
+
+
+def _existential_keep(mask: np.ndarray, starts: np.ndarray,
+                      lengths: np.ndarray) -> np.ndarray:
+    """Per-row ∃: does any ordinal in ``[start, start+length)`` satisfy
+    ``mask``?  One prefix sum, no per-row loop."""
+    cum = np.concatenate(([0], np.cumsum(mask, dtype=np.int64)))
+    return cum[starts + lengths] > cum[starts]
+
+
+class _Reducer:
+    def __init__(self, vdoc, cache: VectorCache):
+        self.vdoc = vdoc
+        self.catalog = vdoc.catalog
+        self.cache = cache
+        self._masks: dict[tuple, np.ndarray] = {}
+
+    # -- operand resolution ------------------------------------------------
+
+    def _side(self, cpath: tuple, col: np.ndarray, rel: tuple):
+        """Resolve one comparison operand to per-row contiguous ranges in
+        the ordinal space of a text path: ``(qpath, starts, lengths)``.
+        ``None`` means no such text exists anywhere (∃ fails for all rows).
+        A variable bound directly to a text node compares its own value
+        (identity ranges)."""
+        if cpath[-1] == "#":
+            if rel == ("#",):
+                return cpath, col, np.ones(len(col), dtype=np.int64)
+            return None
+        qpath = (*cpath, *rel)
+        if self.catalog.index(qpath) is None:
+            return None
+        starts, lengths = self.catalog.extension_ranges(cpath, col, rel)
+        return qpath, starts, lengths
+
+    def _mask(self, qpath: tuple, op: str, value: str) -> np.ndarray:
+        key = (qpath, op, value)
+        m = self._masks.get(key)
+        if m is None:
+            m = pred_mask(self.cache, qpath, op, value)
+            self._masks[key] = m
+        return m
+
+    # -- operations --------------------------------------------------------
+
+    def select_keep(self, sel: ConstEdge, cpath: tuple,
+                    col: np.ndarray) -> np.ndarray:
+        side = self._side(cpath, col, sel.rel)
+        if side is None:
+            return np.zeros(len(col), dtype=bool)
+        qpath, starts, lengths = side
+        return _existential_keep(self._mask(qpath, sel.op, sel.value),
+                                 starts, lengths)
+
+    def join_keep(self, join: EqEdge, n: int, side1, side2) -> np.ndarray:
+        if side1 is None or side2 is None:
+            return np.zeros(n, dtype=bool)
+        q1, s1, l1 = side1
+        q2, s2, l2 = side2
+        cache = self.cache
+        op = join.op
+        if op in ("=", "!="):
+            c1, c2 = cache.column(q1), cache.column(q2)
+            if np.all(l1 == 1) and np.all(l2 == 1):
+                # singleton sets on both sides: direct elementwise compare
+                return c1[s1] == c2[s2] if op == "=" else c1[s1] != c2[s2]
+            o1, o2 = ranges_to_ordinals(s1, l1), ranges_to_ordinals(s2, l2)
+            r1 = np.repeat(np.arange(n, dtype=np.int64), l1)
+            r2 = np.repeat(np.arange(n, dtype=np.int64), l2)
+            v1, v2 = c1[o1], c2[o2]
+            uniq, codes = np.unique(np.concatenate([v1, v2]),
+                                    return_inverse=True)
+            m = max(len(uniq), 1)
+            k1 = r1 * m + codes[: len(v1)]
+            k2 = r2 * m + codes[len(v1):]
+            if op == "=":
+                keep = np.zeros(n, dtype=bool)
+                keep[np.intersect1d(k1, k2) // m] = True
+                return keep
+            # ∃ a≠b  ⟺  both sides non-empty and the union holds ≥2 values
+            distinct = np.bincount(
+                np.unique(np.concatenate([k1, k2])) // m, minlength=n)
+            return (l1 > 0) & (l2 > 0) & (distinct >= 2)
+
+        # ordering operators: existential reduces to min/max of the numeric
+        # values per row (fmin/fmax skip NaN = non-numeric text)
+        f1, f2 = cache.floats(q1), cache.floats(q2)
+        o1, o2 = ranges_to_ordinals(s1, l1), ranges_to_ordinals(s2, l2)
+        r1 = np.repeat(np.arange(n, dtype=np.int64), l1)
+        r2 = np.repeat(np.arange(n, dtype=np.int64), l2)
+        v1, v2 = f1[o1], f2[o2]
+        num1 = np.bincount(r1[~np.isnan(v1)], minlength=n) > 0
+        num2 = np.bincount(r2[~np.isnan(v2)], minlength=n) > 0
+        if op in ("<", "<="):
+            a1 = np.full(n, np.inf)
+            np.fmin.at(a1, r1, v1)       # min over side 1
+            a2 = np.full(n, -np.inf)
+            np.fmax.at(a2, r2, v2)       # max over side 2
+            keep = a1 < a2 if op == "<" else a1 <= a2
+        else:
+            a1 = np.full(n, -np.inf)
+            np.fmax.at(a1, r1, v1)       # max over side 1
+            a2 = np.full(n, np.inf)
+            np.fmin.at(a2, r2, v2)       # min over side 2
+            keep = a1 > a2 if op == ">" else a1 >= a2
+        return keep & num1 & num2
+
+    # -- one combination ---------------------------------------------------
+
+    def run_combo(self, plan: Plan, gq: QueryGraph, assign: dict):
+        catalog = self.catalog
+        cols: dict[str, np.ndarray] = {}
+        n = 1
+        for op in plan.ops:
+            if n == 0:
+                return None
+            edge = op.payload
+            if op.kind == "instantiate":
+                cpath, ids = assign[edge.var]
+                if edge.parent is None:
+                    m = len(ids)
+                    cols = {v: np.repeat(c, m) for v, c in cols.items()}
+                    cols[edge.var] = np.tile(ids, n)
+                    n *= m
+                else:
+                    pcp = assign[edge.parent][0]
+                    starts, lengths = catalog.extension_ranges(
+                        pcp, cols[edge.parent], cpath[len(pcp):])
+                    cols = {v: np.repeat(c, lengths)
+                            for v, c in cols.items()}
+                    cols[edge.var] = ranges_to_ordinals(starts, lengths)
+                    n = len(cols[edge.var])
+            elif op.kind == "select":
+                keep = self.select_keep(edge, assign[edge.var][0],
+                                        cols[edge.var])
+                cols = {v: c[keep] for v, c in cols.items()}
+                n = len(cols[edge.var])
+            else:
+                side1 = self._side(assign[edge.var1][0], cols[edge.var1],
+                                   edge.rel1)
+                side2 = self._side(assign[edge.var2][0], cols[edge.var2],
+                                   edge.rel2)
+                keep = self.join_keep(edge, n, side1, side2)
+                cols = {v: c[keep] for v, c in cols.items()}
+                n = len(cols[edge.var1])
+        if n == 0:
+            return None
+        return {v: assign[v][0] for v in gq.variables}, cols, n
+
+
+def reduce_query(vdoc, gq: QueryGraph, plan: Plan,
+                 cache: VectorCache) -> ReducedTable:
+    """Reduce ``Gq`` to its binding-tuple table, globally ordered."""
+    reducer = _Reducer(vdoc, cache)
+    raw = []
+    for assign in _enumerate_combos(gq, vdoc, cache):
+        combo = reducer.run_combo(plan, gq, assign)
+        if combo is not None:
+            raw.append(combo)
+
+    # Global nested-loop document order across combinations: lexicographic
+    # by the preorder rank of each variable's binding, outermost variable
+    # first.  Ranks are unique per node, so the order is total.
+    catalog = vdoc.catalog
+    total = sum(n for _, _, n in raw)
+    combos: list[ComboRows] = []
+    if total:
+        keys = [
+            np.concatenate([catalog.order_keys(var_paths[v])[cols[v]]
+                            for var_paths, cols, _ in raw])
+            for v in gq.variables
+        ]
+        order = np.lexsort(tuple(reversed(keys)))
+        inv = np.empty(total, dtype=np.int64)
+        inv[order] = np.arange(total, dtype=np.int64)
+        off = 0
+        for var_paths, cols, n in raw:
+            combos.append(ComboRows(var_paths, cols, inv[off:off + n]))
+            off += n
+    return ReducedTable(list(gq.variables), combos, total)

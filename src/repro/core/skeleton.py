@@ -10,14 +10,21 @@ exponentially smaller than the tree it represents.
 The text marker is the unique node with label ``#`` and no children;
 attributes appear as ``@name`` nodes whose single child is the text marker.
 
-Per-node memoized statistics ``occ(node, relative-label-path)`` — the number
-of occurrences of a label path under *one* instance of the node — are the
+Per-node statistics ``occ(node, relative-label-path)`` — the number of
+occurrences of a label path under *one* instance of the node — are the
 basis of the run-length position algebra in :mod:`repro.core.paths`: all
 occurrences in a run share a skeleton node and therefore share these
 statistics, which is what makes position maps arithmetic progressions.
+They are computed by :meth:`NodeStore.occ_column` as bulk passes over the
+whole store in topological order (node ids are already topological: a
+child is always interned before its parents), one numpy column per path
+suffix — no recursion, so arbitrarily long relative paths are safe, and
+the planner gets the statistics of *every* node for the cost of one.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 TEXT_LABEL = "#"
 
@@ -47,7 +54,7 @@ class NodeStore:
         self._labels: list[str] = []
         self._children: list[Runs] = []
         self._intern: dict[tuple[str, Runs], int] = {}
-        self._occ_memo: dict[tuple[int, tuple[str, ...]], int] = {}
+        self._occ_cols: dict[tuple[str, ...], np.ndarray] = {}
         self._size_memo: dict[int, int] = {}
         self.text_id = self.intern(TEXT_LABEL, ())
 
@@ -83,27 +90,54 @@ class NodeStore:
 
     # -- statistics -------------------------------------------------------
 
+    def occ_column(self, relpath: tuple[str, ...]) -> np.ndarray:
+        """Bulk statistics: ``occ(n, relpath)`` for *every* interned node,
+        as one int64 column indexed by node id.
+
+        Computed iteratively, suffix by suffix (shortest first), each level
+        one pass over the store in id order — which *is* topological order,
+        because the store is append-only and children are interned before
+        their parents.  Columns are cached per suffix and extended
+        incrementally when new nodes are interned later (e.g. by result
+        construction), so the total cost stays O(|S| * |relpath|).
+        """
+        n = len(self._labels)
+        if not relpath:
+            return np.ones(n, dtype=np.int64)
+        children = self._children
+        labels = self._labels
+        sub = np.ones(n, dtype=np.int64)  # occ of the empty suffix
+        for k in range(len(relpath) - 1, -1, -1):
+            suffix = relpath[k:]
+            col = self._occ_cols.get(suffix)
+            if col is not None and len(col) == n:
+                sub = col
+                continue
+            start = 0 if col is None else len(col)
+            head = relpath[k]
+            out = np.empty(n, dtype=np.int64)
+            if start:
+                out[:start] = col
+            for nid in range(start, n):
+                total = 0
+                for child, count in children[nid]:
+                    if labels[child] == head:
+                        total += count * int(sub[child])
+                out[nid] = total
+            self._occ_cols[suffix] = out
+            sub = out
+        return sub
+
     def occ(self, nid: int, relpath: tuple[str, ...]) -> int:
         """Occurrences of ``relpath`` under one instance of ``nid``.
 
         ``occ(n, ())`` is 1; ``occ(n, (l, *rest))`` sums ``count *
-        occ(child, rest)`` over child runs labelled ``l``.  Memoized, so a
-        query's statistics cost O(|S| * |path|) across all calls.
+        occ(child, rest)`` over child runs labelled ``l``.  Backed by the
+        bulk columns of :meth:`occ_column`.
         """
         if not relpath:
             return 1
-        key = (nid, relpath)
-        cached = self._occ_memo.get(key)
-        if cached is not None:
-            return cached
-        head = relpath[0]
-        rest = relpath[1:]
-        total = 0
-        for child, count in self._children[nid]:
-            if self._labels[child] == head:
-                total += count * self.occ(child, rest)
-        self._occ_memo[key] = total
-        return total
+        return int(self.occ_column(relpath)[nid])
 
     def node_count(self, nid: int) -> int:
         """Size of the *decompressed* tree rooted at ``nid`` (iterative)."""

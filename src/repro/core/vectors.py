@@ -65,6 +65,11 @@ class Vector:
     def at(self, i: int) -> str:
         return str(self._values[i])
 
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        """Bulk positional gather as a numpy column (result construction
+        copies source ranges into output vectors with this)."""
+        return self._values[ids]
+
     def take(self, ids: np.ndarray) -> list[str]:
         return [str(v) for v in self._values[ids]]
 

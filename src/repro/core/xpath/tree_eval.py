@@ -8,7 +8,7 @@ can compare them on arbitrary documents.
 
 from __future__ import annotations
 
-from ...xmldata.model import Attr, Element, Node, Text, node_label, preorder, xpath_children
+from ...xmldata.model import Element, Node, Text, node_label, preorder, xpath_children
 from .ast import CHILD, Path, Pred
 
 

@@ -25,10 +25,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...errors import XPathSyntaxError
 from ..paths import PathsCatalog, ranges_to_ordinals
 from ..vectors import Vector
-from .ast import CHILD, DESCENDANT, Path, Pred, Step
+from .ast import CHILD, Path, Pred
 
 
 def _match(test: str, label: str) -> bool:
@@ -60,8 +59,12 @@ def _alignments(steps: tuple, cpath: tuple) -> list[tuple]:
     return out
 
 
-class _VectorCache:
-    """Per-query lazy vector loads; guarantees one scan per touched vector."""
+class VectorCache:
+    """Per-query lazy vector loads; guarantees one scan per touched vector.
+
+    Shared across every operation of a query — including all operations of
+    an XQ graph reduction — so the engine's scan-at-most-once invariant
+    holds for whole multi-operation queries, not just single paths."""
 
     def __init__(self, vectors: dict[tuple, Vector]):
         self._vectors = vectors
@@ -79,7 +82,7 @@ class _VectorCache:
         return self._vectors[path].floats()
 
 
-def _pred_mask(cache: _VectorCache, qpath: tuple, op: str, const: str) -> np.ndarray:
+def pred_mask(cache: VectorCache, qpath: tuple, op: str, const: str) -> np.ndarray:
     """Boolean mask over the ordinals of text path ``qpath``."""
     if op == "=":
         return cache.column(qpath) == const
@@ -100,7 +103,7 @@ def _pred_mask(cache: _VectorCache, qpath: tuple, op: str, const: str) -> np.nda
     return f >= c
 
 
-def _apply_pred(catalog: PathsCatalog, cache: _VectorCache, prefix: tuple,
+def _apply_pred(catalog: PathsCatalog, cache: VectorCache, prefix: tuple,
                 ids: np.ndarray, pred: Pred) -> np.ndarray:
     """Filter occurrence ordinals ``ids`` of ``prefix`` by one predicate."""
     if pred.op is None:
@@ -113,13 +116,13 @@ def _apply_pred(catalog: PathsCatalog, cache: _VectorCache, prefix: tuple,
     if catalog.index(qpath) is None:
         return ids[:0]  # no such text anywhere: ∃ fails for every occurrence
     starts, lengths = catalog.extension_ranges(prefix, ids, rel)
-    mask = _pred_mask(cache, qpath, pred.op, pred.value)
+    mask = pred_mask(cache, qpath, pred.op, pred.value)
     cum = np.concatenate(([0], np.cumsum(mask, dtype=np.int64)))
     keep = cum[starts + lengths] > cum[starts]
     return ids[keep]
 
 
-def _eval_alignment(catalog: PathsCatalog, cache: _VectorCache, cpath: tuple,
+def _eval_alignment(catalog: PathsCatalog, cache: VectorCache, cpath: tuple,
                     align: tuple, steps: tuple) -> np.ndarray | None:
     """Occurrence ordinals of ``cpath`` selected by one alignment.
 
@@ -149,7 +152,13 @@ def _eval_alignment(catalog: PathsCatalog, cache: _VectorCache, cpath: tuple,
 
 class VXResult:
     """Result of a vectorized evaluation: per concrete path, the selected
-    occurrence ordinals (a columnar node set — no nodes are materialized)."""
+    occurrence ordinals (a columnar node set — no nodes are materialized).
+
+    Reporting methods interleave occurrences of *different* concrete paths
+    into true global document order using the catalog's preorder rank
+    columns (``order_keys``) — ``//`` and ``*`` results come out exactly as
+    a document-order tree walk would emit them, still without touching the
+    decompressed tree."""
 
     def __init__(self, vdoc, groups: list[tuple]):
         self.vdoc = vdoc
@@ -161,26 +170,38 @@ class VXResult:
     def paths(self) -> list[tuple]:
         return [p for p, _ in self.groups]
 
+    def _doc_order(self, groups: list[tuple]) -> np.ndarray:
+        """Permutation putting the concatenation of ``groups`` ordinals in
+        global document order."""
+        catalog = self.vdoc.catalog
+        ranks = [catalog.order_keys(cpath)[ids] for cpath, ids in groups]
+        if not ranks:
+            return np.empty(0, dtype=np.int64)
+        return np.argsort(np.concatenate(ranks), kind="stable")
+
     def text_values(self) -> list[str]:
-        """Values of text-path results, vector gathers only."""
-        out: list[str] = []
-        for cpath, ids in self.groups:
-            if cpath[-1] == "#":
-                out.extend(self.vdoc.vectors[cpath].take(ids))
-        return out
+        """Values of text-path results, vector gathers only, interleaved in
+        document order across paths."""
+        text_groups = [(p, ids) for p, ids in self.groups if p[-1] == "#"]
+        vals: list[str] = []
+        for cpath, ids in text_groups:
+            vals.extend(self.vdoc.vectors[cpath].take(ids))
+        order = self._doc_order(text_groups)
+        return [vals[i] for i in order]
 
     def canonical(self) -> list[tuple]:
-        """Canonical content per result occurrence (for cross-evaluator
-        comparison); matches :func:`tree_eval.canonical_item` exactly.
-        Uses the position algebra to locate each occurrence's contiguous
-        source range in every descendant vector — still no decompression."""
+        """Canonical content per result occurrence in global document order
+        (for cross-evaluator comparison); matches
+        :func:`tree_eval.canonical_item` exactly.  Uses the position algebra
+        to locate each occurrence's contiguous source range in every
+        descendant vector — still no decompression."""
         catalog = self.vdoc.catalog
         guide = catalog.dataguide()
-        out: list[tuple] = []
+        items: list[tuple] = []
         for cpath, ids in self.groups:
             if cpath[-1] == "#":
                 vec = self.vdoc.vectors[cpath]
-                out.extend((((), v),) for v in vec.take(ids))
+                items.extend((((), v),) for v in vec.take(ids))
                 continue
             k = len(cpath)
             rels = sorted(
@@ -195,14 +216,20 @@ class VXResult:
                 for row, (s, ln) in enumerate(zip(starts, lengths)):
                     for v in vec.slice(int(s), int(s + ln)):
                         per_id[row].append((rel, v))
-            out.extend(tuple(items) for items in per_id)
-        return out
+            items.extend(tuple(it) for it in per_id)
+        order = self._doc_order(self.groups)
+        return [items[i] for i in order]
 
 
-def evaluate_vx(vdoc, path: Path) -> VXResult:
-    """Evaluate an XPath of the fragment P[*,//] over a vectorized document."""
+def evaluate_vx(vdoc, path: Path, cache: VectorCache | None = None) -> VXResult:
+    """Evaluate an XPath of the fragment P[*,//] over a vectorized document.
+
+    ``cache`` lets a larger computation (the XQ graph reduction, which
+    evaluates one absolute path per root-bound variable) share a single
+    per-query vector cache so the scan-once invariant spans the whole
+    query."""
     catalog: PathsCatalog = vdoc.catalog
-    cache = _VectorCache(vdoc.vectors)
+    cache = cache or VectorCache(vdoc.vectors)
     steps = path.steps
     groups: dict[tuple, list] = {}
 

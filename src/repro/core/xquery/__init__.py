@@ -1,0 +1,36 @@
+"""XQ — the paper's FLWR fragment (§3.1, §3.3): AST, parser, rewrites and
+the naive decompress-and-evaluate reference evaluator."""
+
+from .ast import (
+    AbsSource,
+    Comparison,
+    Const,
+    ForBinding,
+    LetBinding,
+    RelSource,
+    TElem,
+    TSplice,
+    TText,
+    VarRel,
+    XQuery,
+)
+from .naive import evaluate_xq_tree
+from .parser import parse_xq
+from .rewrite import normalize
+
+__all__ = [
+    "AbsSource",
+    "Comparison",
+    "Const",
+    "ForBinding",
+    "LetBinding",
+    "RelSource",
+    "TElem",
+    "TSplice",
+    "TText",
+    "VarRel",
+    "XQuery",
+    "evaluate_xq_tree",
+    "parse_xq",
+    "normalize",
+]

@@ -1,0 +1,171 @@
+"""AST for the XQ fragment (paper §3.1) and its XQ[*,//] extension.
+
+Shape (concrete grammar in :mod:`repro.core.xquery.parser`)::
+
+    query  := '<' tag '>' '{' flwr '}' '</' tag '>'  |  flwr
+    flwr   := 'for' $v 'in' source (',' $v 'in' source)*
+              ('let' $v ':=' $y '/' relpath (',' ...)*)?
+              ('where' comparison ('and' comparison)*)?
+              'return' template
+
+A ``for`` source is either an *absolute* XPath of the existing fragment
+P[*,//] (reusing :mod:`repro.core.xpath` wholesale — wildcards,
+descendants and predicates included) or a *relative* path ``$y/steps``
+where steps may use the child and descendant axes and wildcards.  ``let``
+bindings are concrete child-path aliases (the paper's let clauses bind
+subsequences of a variable; we realize them by rewriting, see
+``rewrite.normalize``).  ``where`` is a conjunction of comparisons between
+text-valued variable paths and constants (selections) or between two
+variable paths (joins); the paper's formal fragment has ``=`` only — the
+other comparators are the documented DESIGN.md extension.  The return
+template is a forest of element constructors, literal text, and
+``{$v/relpath}`` splices that copy whole subtrees (or text / attribute
+values) of the bound occurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xpath.ast import OPS, Path
+
+__all__ = [
+    "OPS", "AbsSource", "RelSource", "ForBinding", "LetBinding",
+    "Const", "VarRel", "Comparison", "TElem", "TText", "TSplice", "XQuery",
+]
+
+
+def _fmt_rel(var: str, rel: tuple) -> str:
+    parts = [f"${var}"]
+    parts.extend("text()" if c == "#" else c for c in rel)
+    return "/".join(parts)
+
+
+@dataclass(frozen=True)
+class AbsSource:
+    """A ``for``/``let`` source that is an absolute XPath (full P[*,//])."""
+
+    path: Path
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+@dataclass(frozen=True)
+class RelSource:
+    """A source relative to another variable: ``$var/steps``.
+
+    ``steps`` are :class:`~repro.core.xpath.ast.Step` objects restricted to
+    the child/descendant axes with name, ``*``, ``@name`` or ``text()``
+    tests and no predicates (conditions belong in ``where``).
+    """
+
+    var: str
+    steps: tuple  # tuple[Step, ...]
+
+    def __str__(self) -> str:
+        return f"${self.var}" + "".join(str(s) for s in self.steps)
+
+
+@dataclass(frozen=True)
+class ForBinding:
+    var: str
+    source: AbsSource | RelSource
+
+    def __str__(self) -> str:
+        return f"${self.var} in {self.source}"
+
+
+@dataclass(frozen=True)
+class LetBinding:
+    """``let $var := $base/rel`` — a concrete child-path alias."""
+
+    var: str
+    base: str
+    rel: tuple  # tuple[str, ...] concrete labels ('#'/'@name' at end only)
+
+    def __str__(self) -> str:
+        return f"${self.var} := {_fmt_rel(self.base, self.rel)}"
+
+
+@dataclass(frozen=True)
+class Const:
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class VarRel:
+    """A text-valued operand ``$var/rel`` in a comparison (rel concrete)."""
+
+    var: str
+    rel: tuple  # tuple[str, ...]
+
+    def __str__(self) -> str:
+        return _fmt_rel(self.var, self.rel)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    left: VarRel | Const
+    op: str  # one of OPS
+    right: VarRel | Const
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class TElem:
+    """Element constructor ``<tag>children</tag>`` in a return template."""
+
+    tag: str
+    children: tuple = ()  # of TElem | TText | TSplice
+
+    def __str__(self) -> str:
+        inner = "".join(str(c) for c in self.children)
+        return f"<{self.tag}>{inner}</{self.tag}>"
+
+
+@dataclass(frozen=True)
+class TText:
+    """Literal text in a return template."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TSplice:
+    """``{$var/rel}`` — splice the subtrees (or text/attribute values) at a
+    concrete child path of the bound occurrence into the output."""
+
+    var: str
+    rel: tuple = ()  # tuple[str, ...] concrete labels; may end '#'/'@name'
+
+    def __str__(self) -> str:
+        return "{" + _fmt_rel(self.var, self.rel) + "}"
+
+
+@dataclass(frozen=True)
+class XQuery:
+    root_tag: str
+    bindings: tuple = ()  # tuple[ForBinding, ...] in declaration order
+    lets: tuple = ()      # tuple[LetBinding, ...]
+    where: tuple = ()     # tuple[Comparison, ...] (conjunction)
+    ret: tuple = ()       # template forest: tuple[TElem | TText | TSplice]
+    source_text: str | None = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        parts = ["for " + ", ".join(str(b) for b in self.bindings)]
+        if self.lets:
+            parts.append("let " + ", ".join(str(b) for b in self.lets))
+        if self.where:
+            parts.append("where " + " and ".join(str(c) for c in self.where))
+        parts.append("return " + "".join(str(t) for t in self.ret))
+        flwr = " ".join(parts)
+        return f"<{self.root_tag}>{{ {flwr} }}</{self.root_tag}>"

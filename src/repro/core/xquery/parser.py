@@ -1,0 +1,380 @@
+"""Recursive-descent parser for XQ / XQ[*,//].
+
+Concrete grammar (see :mod:`repro.core.xquery.ast` for semantics)::
+
+    query    := '<' NAME '>' '{' flwr '}' '</' NAME '>'  |  flwr
+    flwr     := 'for' for_bind (',' for_bind)*
+                ('let' let_bind (',' let_bind)*)?
+                ('where' comparison ('and' comparison)*)?
+                'return' titem+
+    for_bind := VAR 'in' (abspath | VAR relsteps)
+    let_bind := VAR ':=' VAR relpath
+    abspath  := an absolute XPath of P[*,//]  -- handed verbatim to
+                repro.core.xpath.parser.parse_xpath (wildcards,
+                descendants and predicates all work)
+    relsteps := (('/' | '//') test)*         -- test: NAME | '*' | '@' NAME
+                                                     | 'text()'; no preds
+    relpath  := ('/' ctest)*                 -- ctest: NAME | '@' NAME
+                                                     | 'text()' (concrete)
+    comparison := operand op operand         -- op: = != < <= > >=
+    operand  := VAR relpath | STRING | NUMBER
+    titem    := '<' NAME '>' tcontent* '</' NAME '>' | '<' NAME '/>'
+              | '{' VAR relpath '}' | VAR relpath
+    tcontent := titem | raw text             -- raw text is trimmed
+    VAR      := '$' NAME
+
+The absolute-path arm is what makes this the XQ[*,//] extension: ``for``
+bindings reuse the existing XPath machinery wholesale.
+"""
+
+from __future__ import annotations
+
+from ...errors import XQSyntaxError
+from ..xpath.ast import CHILD, DESCENDANT, OPS, Step
+from ..xpath.parser import parse_xpath
+from .ast import (
+    AbsSource,
+    Comparison,
+    Const,
+    ForBinding,
+    LetBinding,
+    RelSource,
+    TElem,
+    TSplice,
+    TText,
+    VarRel,
+    XQuery,
+)
+
+_NAME_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NAME_CHARS = _NAME_START | set("0123456789-.:")
+_KEYWORDS = ("let", "where", "return")
+
+
+class _Scanner:
+    def __init__(self, s: str):
+        self.s = s
+        self.i = 0
+
+    def err(self, msg: str) -> XQSyntaxError:
+        return XQSyntaxError(f"{msg} at offset {self.i} in {self.s!r}")
+
+    def ws(self) -> None:
+        while self.i < len(self.s) and self.s[self.i] in " \t\r\n":
+            self.i += 1
+
+    def eof(self) -> bool:
+        self.ws()
+        return self.i >= len(self.s)
+
+    def peek(self, tok: str) -> bool:
+        self.ws()
+        return self.s.startswith(tok, self.i)
+
+    def eat(self, tok: str) -> bool:
+        if self.peek(tok):
+            self.i += len(tok)
+            return True
+        return False
+
+    def expect(self, tok: str) -> None:
+        if not self.eat(tok):
+            raise self.err(f"expected {tok!r}")
+
+    def name(self) -> str:
+        self.ws()
+        i = self.i
+        if i >= len(self.s) or self.s[i] not in _NAME_START:
+            raise self.err("expected a name")
+        j = i + 1
+        while j < len(self.s) and self.s[j] in _NAME_CHARS:
+            j += 1
+        self.i = j
+        return self.s[i:j]
+
+    def peek_word(self, word: str) -> bool:
+        """True iff ``word`` appears next as a whole word."""
+        self.ws()
+        j = self.i + len(word)
+        return (self.s.startswith(word, self.i)
+                and (j >= len(self.s) or self.s[j] not in _NAME_CHARS))
+
+    def eat_word(self, word: str) -> bool:
+        if self.peek_word(word):
+            self.i += len(word)
+            return True
+        return False
+
+    def expect_word(self, word: str) -> None:
+        if not self.eat_word(word):
+            raise self.err(f"expected {word!r}")
+
+    def var(self) -> str:
+        self.expect("$")
+        return self.name()
+
+
+def _scan_abspath(sc: _Scanner) -> str:
+    """Cut the absolute-XPath substring of a ``for`` source: everything up
+    to a top-level ',' or a top-level ``let``/``where``/``return`` keyword
+    (bracket depth and string literals are tracked so predicates may
+    contain anything)."""
+    s, start = sc.s, sc.i
+    i, depth = start, 0
+    while i < len(s):
+        c = s[i]
+        if c in "\"'":
+            end = s.find(c, i + 1)
+            if end < 0:
+                raise sc.err("unterminated string literal in path")
+            i = end + 1
+            continue
+        if c == "[":
+            depth += 1
+        elif c == "]":
+            depth -= 1
+        elif depth == 0:
+            if c == ",":
+                break
+            if c in " \t\r\n":
+                j = i
+                while j < len(s) and s[j] in " \t\r\n":
+                    j += 1
+                k = j
+                while k < len(s) and s[k] in _NAME_CHARS:
+                    k += 1
+                if s[j:k] in _KEYWORDS:
+                    break
+        i += 1
+    sc.i = i
+    text = s[start:i].strip()
+    if not text:
+        raise sc.err("expected an absolute path")
+    return text
+
+
+def _parse_relsteps(sc: _Scanner) -> tuple:
+    """``(('/' | '//') test)*`` with wildcard/descendant but no predicates
+    (conditions belong in ``where``)."""
+    steps: list[Step] = []
+    while True:
+        if sc.eat("//"):
+            axis = DESCENDANT
+        elif sc.eat("/"):
+            axis = CHILD
+        else:
+            break
+        if sc.eat("*"):
+            test = "*"
+        elif sc.eat("@"):
+            test = "@" + sc.name()
+        else:
+            name = sc.name()
+            if name == "text" and sc.eat("("):
+                sc.expect(")")
+                test = "#"
+            else:
+                test = name
+        if steps and steps[-1].test == "#":
+            raise sc.err("text() must be the last step")
+        if steps and steps[-1].test.startswith("@") and test != "#":
+            raise sc.err("an attribute step may only be followed by text()")
+        steps.append(Step(axis, test))
+        if sc.peek("["):
+            raise sc.err(
+                "predicates are not supported in relative bindings; "
+                "use a where clause")
+    return tuple(steps)
+
+
+def _parse_relpath(sc: _Scanner) -> tuple:
+    """Concrete child-axis relative path: ``('/' ctest)*`` -> label tuple."""
+    rel: list[str] = []
+    while sc.eat("/"):
+        if sc.peek("/"):
+            raise sc.err("'//' is not supported here (child axis only)")
+        if sc.eat("@"):
+            comp = "@" + sc.name()
+        else:
+            name = sc.name()
+            if name == "text" and sc.eat("("):
+                sc.expect(")")
+                comp = "#"
+            else:
+                comp = name
+        if rel and rel[-1] == "#":
+            raise sc.err("text() must be the last component")
+        if rel and rel[-1].startswith("@") and comp != "#":
+            raise sc.err("an attribute component may only be followed by text()")
+        rel.append(comp)
+    return tuple(rel)
+
+
+def _parse_source(sc: _Scanner) -> AbsSource | RelSource:
+    sc.ws()
+    if sc.peek("$"):
+        var = sc.var()
+        steps = _parse_relsteps(sc)
+        if not steps:
+            raise sc.err("a relative source needs at least one step")
+        return RelSource(var, steps)
+    if sc.peek("/"):
+        return AbsSource(parse_xpath(_scan_abspath(sc)))
+    raise sc.err("expected an absolute path or $var/...")
+
+
+def _parse_literal(sc: _Scanner) -> str:
+    sc.ws()
+    if sc.i < len(sc.s) and sc.s[sc.i] in "\"'":
+        quote = sc.s[sc.i]
+        end = sc.s.find(quote, sc.i + 1)
+        if end < 0:
+            raise sc.err("unterminated string literal")
+        value = sc.s[sc.i + 1 : end]
+        sc.i = end + 1
+        return value
+    i = j = sc.i
+    while j < len(sc.s) and (sc.s[j].isdigit() or sc.s[j] in "+-.eE"):
+        j += 1
+    if j == i:
+        raise sc.err("expected a literal")
+    sc.i = j
+    return sc.s[i:j]
+
+
+def _parse_operand(sc: _Scanner) -> VarRel | Const:
+    sc.ws()
+    if sc.peek("$"):
+        var = sc.var()
+        return VarRel(var, _parse_relpath(sc))
+    return Const(_parse_literal(sc))
+
+
+def _parse_comparison(sc: _Scanner) -> Comparison:
+    left = _parse_operand(sc)
+    sc.ws()
+    for candidate in ("<=", ">=", "!=", "=", "<", ">"):
+        if sc.eat(candidate):
+            op = candidate
+            break
+    else:
+        raise sc.err(f"expected a comparison operator (one of {OPS})")
+    right = _parse_operand(sc)
+    if isinstance(left, Const) and isinstance(right, Const):
+        raise sc.err("a comparison needs at least one variable operand")
+    return Comparison(left, op, right)
+
+
+def _parse_template_item(sc: _Scanner):
+    sc.ws()
+    if sc.eat("{"):
+        var = sc.var()
+        rel = _parse_relpath(sc)
+        sc.expect("}")
+        return TSplice(var, rel)
+    if sc.peek("$"):
+        var = sc.var()
+        return TSplice(var, _parse_relpath(sc))
+    if sc.peek("<"):
+        return _parse_constructor(sc)
+    raise sc.err("expected '<tag>', '{$var...}' or '$var...' in template")
+
+
+def _parse_constructor(sc: _Scanner) -> TElem:
+    sc.expect("<")
+    tag = sc.name()
+    if sc.eat("/>"):
+        return TElem(tag, ())
+    sc.expect(">")
+    children: list = []
+    while True:
+        if sc.eat("</"):
+            end = sc.name()
+            if end != tag:
+                raise sc.err(f"mismatched end tag </{end}> for <{tag}>")
+            sc.expect(">")
+            return TElem(tag, tuple(children))
+        if sc.peek("<"):
+            children.append(_parse_constructor(sc))
+        elif sc.eat("{"):
+            var = sc.var()
+            rel = _parse_relpath(sc)
+            sc.expect("}")
+            children.append(TSplice(var, rel))
+        else:
+            # raw text up to the next markup character, trimmed
+            i = sc.i
+            while i < len(sc.s) and sc.s[i] not in "<{":
+                i += 1
+            if i == sc.i:
+                raise sc.err("unterminated element constructor")
+            text = sc.s[sc.i : i].strip()
+            sc.i = i
+            if text:
+                children.append(TText(text))
+
+
+def _parse_flwr(sc: _Scanner, root_tag: str, source_text: str) -> XQuery:
+    sc.expect_word("for")
+    bindings: list[ForBinding] = []
+    while True:
+        var = sc.var()
+        sc.expect_word("in")
+        bindings.append(ForBinding(var, _parse_source(sc)))
+        if not sc.eat(","):
+            break
+    lets: list[LetBinding] = []
+    if sc.eat_word("let"):
+        while True:
+            var = sc.var()
+            sc.expect(":=")
+            base = sc.var()
+            rel = _parse_relpath(sc)
+            if not rel:
+                raise sc.err("a let binding needs a non-empty relative path")
+            lets.append(LetBinding(var, base, rel))
+            if not sc.eat(","):
+                break
+    where: list[Comparison] = []
+    if sc.eat_word("where"):
+        while True:
+            where.append(_parse_comparison(sc))
+            if not sc.eat_word("and"):
+                break
+    sc.expect_word("return")
+    ret: list = [_parse_template_item(sc)]
+    while True:
+        sc.ws()
+        if sc.i < len(sc.s) and sc.s[sc.i] in "<{$" and not sc.peek("</"):
+            ret.append(_parse_template_item(sc))
+        else:
+            break
+    return XQuery(root_tag, tuple(bindings), tuple(lets), tuple(where),
+                  tuple(ret), source_text)
+
+
+DEFAULT_ROOT_TAG = "result"
+
+
+def parse_xq(s: str) -> XQuery:
+    """Parse an XQ query.  A bare FLWR expression is implicitly wrapped in
+    a ``<result>`` element so the output is always a single document."""
+    sc = _Scanner(s)
+    sc.ws()
+    if sc.peek("<"):
+        sc.expect("<")
+        root_tag = sc.name()
+        sc.expect(">")
+        sc.expect("{")
+        xq = _parse_flwr(sc, root_tag, s)
+        sc.expect("}")
+        sc.expect("</")
+        end = sc.name()
+        if end != root_tag:
+            raise sc.err(f"mismatched end tag </{end}> for <{root_tag}>")
+        sc.expect(">")
+    else:
+        xq = _parse_flwr(sc, DEFAULT_ROOT_TAG, s)
+    if not sc.eof():
+        raise sc.err("unexpected trailing input")
+    return xq

@@ -19,6 +19,15 @@ class XPathSyntaxError(ReproError):
     """Malformed XPath expression."""
 
 
+class XQSyntaxError(ReproError):
+    """Malformed XQ (FLWR) query."""
+
+
+class XQCompileError(ReproError):
+    """A well-formed XQ query that cannot be compiled to a query graph
+    (unknown variable, cyclic let chain, misplaced text/attribute step)."""
+
+
 class DecompressionForbiddenError(ReproError):
     """Skeleton decompression attempted inside a forbid_decompression() block.
 

@@ -44,3 +44,22 @@ def test_cli_reports_errors(tmp_path, capsys):
 
     g = _gen(tmp_path, 5)
     assert main(["query", str(g), "not-an-xpath"]) == 1
+
+
+def test_cli_xq_query(tmp_path, capsys):
+    f = _gen(tmp_path, 15)
+    q = ("for $p in /site/people/person where $p/profile/age > '40' "
+         "return <r>{$p/name}</r>")
+
+    assert main(["query", str(f), q, "--plan"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.startswith("<result")
+    assert "instantiate" in captured.err and "select" in captured.err
+
+    assert main(["query", str(f), q, "--mode", "naive"]) == 0
+    naive_out = capsys.readouterr().out
+    assert naive_out == captured.out
+
+    # XQ syntax errors are reported, not raised
+    assert main(["query", str(f), "for $x in"]) == 1
+    assert "error" in capsys.readouterr().err

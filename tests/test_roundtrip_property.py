@@ -10,7 +10,7 @@ import random
 import pytest
 
 from repro.core.vdoc import VectorizedDocument
-from repro.xmldata import Element, Text, parse, serialize, tree_size
+from repro.xmldata import Element, Text, parse, serialize
 
 _LABELS = ["a", "b", "c", "data", "item"]
 _TEXTS = ["", "x", "hello world", "42", "-3.5", "<&>\"'", "  spaced  ", "ünïcödé"]
