@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Disk-backed vdoc benchmark: cold vs. warm cache, small vs. unbounded pool.
+
+For each document size the document is vectorized, saved in the paged
+on-disk format, and queried (one XPath and one two-variable-join XQ)
+in four regimes:
+
+* ``cold / small pool``      — fresh open, pool of --pool-pages frames:
+  every touched vector chain is read from disk through the bounded pool;
+* ``warm columns / small``   — same document object re-queried: the numpy
+  columns are cached, zero physical I/O;
+* ``cold / unbounded pool``  — fresh open, unbounded pool: same physical
+  reads as the small pool (lazy loading reads each chain at most once
+  either way — the paper's scan-once claim, now measured in pages);
+* ``pool-warm / unbounded``  — columns dropped but the pool retains every
+  page: rescans are pure buffer hits, zero reads.
+
+Before timing, both queries are checked byte-identical against the
+in-memory document.  Results go to BENCH_disk.json.  Exits nonzero if a
+regime breaks its expected I/O profile (disable with --no-assert;
+--smoke uses tiny documents).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro import __version__  # noqa: E402
+from repro.core.engine import eval_query, eval_xq  # noqa: E402
+from repro.core.vdoc import VectorizedDocument  # noqa: E402
+from repro.datasets.synth import xmark_like_xml  # noqa: E402
+from repro.util import Timer, fmt_table, human_count  # noqa: E402
+
+XPATH = "//item[quantity > 5]/name"
+XQ = ("for $c in /site/closed_auctions/closed_auction, "
+      "$p in /site/people/person where $c/buyer = $p/@id "
+      "return <pair>{$p/name}{$c/price}</pair>")
+
+
+def _answers(vdoc) -> tuple:
+    return (eval_query(vdoc, XPATH).canonical(), eval_xq(vdoc, XQ).to_xml())
+
+
+def _run_both(vdoc) -> float:
+    with Timer() as t:
+        _answers(vdoc)
+    return t.elapsed
+
+
+def _io_delta(pool, before: dict) -> dict:
+    now = pool.stats.as_dict()
+    return {k: now[k] - before[k] for k in before}
+
+
+def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
+    records = []
+    failures: list[str] = []
+    tmpdir = tempfile.mkdtemp(prefix="bench_disk_")
+    for n_people in sizes:
+        xml = xmark_like_xml(n_people, seed=42)
+        mem = VectorizedDocument.from_xml(xml)
+        path = os.path.join(tmpdir, f"doc_{n_people}.vdoc")
+        with Timer() as t_save:
+            summary = mem.save(path, page_size=page_size)
+        mem_answers = _answers(mem)
+
+        print(f"\n== n_people={n_people}"
+              f"  nodes={human_count(mem.stats()['document_nodes'])}"
+              f"  file={summary['bytes'] / 1024:.0f}KiB"
+              f"  pages={summary['pages']}"
+              f"  (save {t_save.elapsed:.2f}s)")
+
+        # correctness gate on its own open so the timed opens stay cold
+        with VectorizedDocument.open(path, pool_pages=pool_pages) as disk:
+            assert _answers(disk) == mem_answers, "disk answers diverge"
+
+        regimes = []
+
+        # cold + small bounded pool
+        disk = VectorizedDocument.open(path, pool_pages=pool_pages)
+        base = disk.pool.stats.as_dict()
+        t = _run_both(disk)
+        regimes.append(("cold/small", t, _io_delta(disk.pool, base)))
+
+        # warm columns, same small pool
+        base = disk.pool.stats.as_dict()
+        t = _run_both(disk)
+        regimes.append(("warm/small", t, _io_delta(disk.pool, base)))
+        disk.close()
+
+        # cold + unbounded pool
+        disk = VectorizedDocument.open(path, pool_pages=None)
+        base = disk.pool.stats.as_dict()
+        t = _run_both(disk)
+        regimes.append(("cold/unbounded", t, _io_delta(disk.pool, base)))
+
+        # pool-warm: drop the numpy columns, keep every page resident
+        disk.drop_caches()
+        base = disk.pool.stats.as_dict()
+        t = _run_both(disk)
+        regimes.append(("poolwarm/unbounded", t,
+                        _io_delta(disk.pool, base)))
+        disk.close()
+
+        io_by_name = {}
+        for name, t, io in regimes:
+            io_by_name[name] = io
+            records.append({
+                "n_people": n_people,
+                "file_bytes": summary["bytes"],
+                "file_pages": summary["pages"],
+                "page_size": page_size,
+                "pool_pages": pool_pages if "small" in name else None,
+                "regime": name,
+                "t_s": t,
+                **{f"io_{k}": v for k, v in io.items()},
+            })
+
+        # expected I/O profiles
+        if io_by_name["warm/small"]["pages_read"] != 0:
+            failures.append(f"n={n_people}: warm columns still read pages")
+        if io_by_name["poolwarm/unbounded"]["pages_read"] != 0:
+            failures.append(f"n={n_people}: unbounded pool rescan missed")
+        for name in ("cold/small", "cold/unbounded"):
+            if io_by_name[name]["pages_read"] > summary["pages"]:
+                failures.append(f"n={n_people}: {name} read more pages than "
+                                f"the whole file (scan-once broken)")
+        if io_by_name["cold/small"]["evictions"] == 0 \
+                and io_by_name["cold/small"]["pages_read"] > pool_pages:
+            failures.append(f"n={n_people}: small pool never evicted")
+
+    headers = ["people", "regime", "time (ms)", "reads", "hits", "evict"]
+    rows = [[human_count(r["n_people"]), r["regime"], f"{r['t_s'] * 1e3:.2f}",
+             r["io_pages_read"], r["io_hits"], r["io_evictions"]]
+            for r in records]
+    print("\n" + fmt_table(headers, rows))
+
+    payload = {
+        "bench": "disk_backed_vdoc",
+        "version": __version__,
+        "sizes_n_people": list(sizes),
+        "page_size": page_size,
+        "pool_pages": pool_pages,
+        "queries": {"xpath": XPATH, "xq": XQ},
+        "records": records,
+        "profile_failures": failures,
+    }
+    pathlib.Path(out_path).write_text(json.dumps(payload, indent=2) + "\n",
+                                      encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1 if do_assert else 0
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--sizes", default=None,
+                    help="comma-separated n_people sizes (default 500,2000,8000)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny documents for CI")
+    ap.add_argument("--pool-pages", type=int, default=16,
+                    help="bounded-pool size in pages (default 16)")
+    ap.add_argument("--page-size", type=int, default=4096)
+    ap.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_disk.json"))
+    ap.add_argument("--no-assert", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.sizes:
+        sizes = [int(s) for s in args.sizes.split(",")]
+    elif args.smoke:
+        sizes = [50, 200]
+    else:
+        sizes = [500, 2000, 8000]
+    return run(sizes, args.pool_pages, args.page_size, args.out,
+               not args.no_assert)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

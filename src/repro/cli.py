@@ -2,16 +2,25 @@
 
 Subcommands::
 
-    repro-xq stats FILE                      vectorization statistics
+    repro-xq stats FILE [--pool N]           vectorization statistics
     repro-xq query FILE QUERY [--mode vx|naive] [--values] [--canonical]
-                              [--plan]
-    repro-xq reconstruct FILE                vectorize then decompress back
+                              [--plan] [--pool N] [--io-stats]
+    repro-xq reconstruct FILE [--pool N]     vectorize then decompress back
+    repro-xq save FILE OUT [--page-size B]   write the on-disk vdoc format
+    repro-xq open FILE [--pool N]            print a saved vdoc's catalog
     repro-xq gen N [--seed S]                synthetic XMark-like document
+
+``FILE`` may be XML text or a saved ``.vdoc`` page file (sniffed by
+magic); vdoc inputs are opened disk-backed through a buffer pool of
+``--pool`` pages (default unbounded) and ``--io-stats`` reports the
+pool's physical I/O counters on stderr after a query.
 
 ``query`` dispatches on the query text: a leading ``/`` is an XPath of
 P[*,//]; anything else is an XQ FLWR expression (``for .. where ..
 return ..``), evaluated by graph reduction (``--plan`` prints the
-heuristic operation order first).
+heuristic operation order first).  Flags that do not apply to the query
+kind (``--values``/``--canonical`` for XQ, ``--plan`` for XPath) are
+usage errors, not silently ignored.
 """
 
 from __future__ import annotations
@@ -25,11 +34,31 @@ from .core.engine import XQVXResult, eval_query, eval_xq
 from .core.vdoc import VectorizedDocument
 from .datasets.synth import xmark_like_xml
 from .errors import ReproError
+from .storage.disk import PageFile
+
+USAGE_ERROR = 2
 
 
-def _load(path: str) -> VectorizedDocument:
+def _load(path: str, pool: int | None = None) -> VectorizedDocument:
+    if PageFile.is_page_file(path):
+        return VectorizedDocument.open(path, pool_pages=pool)
     with open(path, "r", encoding="utf-8") as f:
         return VectorizedDocument.from_xml(f.read())
+
+
+def _usage_error(message: str) -> int:
+    print(f"repro-xq: error: {message}", file=sys.stderr)
+    return USAGE_ERROR
+
+
+def _print_io_stats(vdoc: VectorizedDocument) -> None:
+    if vdoc.pool is None:
+        print("io: document is memory-resident (no buffer pool)",
+              file=sys.stderr)
+        return
+    stats = vdoc.io_stats()
+    print("io: " + "  ".join(f"{k}={v}" for k, v in stats.items()),
+          file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,8 +69,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--version", action="version", version=f"repro-xq {__version__}")
     sub = ap.add_subparsers(dest="cmd", required=True)
 
+    pool_help = ("buffer pool size in pages for .vdoc inputs "
+                 "(default: unbounded)")
+
     p_stats = sub.add_parser("stats", help="vectorization statistics")
     p_stats.add_argument("file")
+    p_stats.add_argument("--pool", type=int, default=None, help=pool_help)
 
     p_query = sub.add_parser("query", help="evaluate an XPath or XQ query")
     p_query.add_argument("file")
@@ -57,10 +90,29 @@ def main(argv: list[str] | None = None) -> int:
                               "result")
     p_query.add_argument("--plan", action="store_true",
                          help="XQ only: print the heuristic reduction plan")
+    p_query.add_argument("--pool", type=int, default=None, help=pool_help)
+    p_query.add_argument("--io-stats", action="store_true",
+                         help="print buffer-pool I/O counters on stderr "
+                              "after the query")
 
     p_rec = sub.add_parser("reconstruct",
                            help="vectorize, then decompress back to XML")
     p_rec.add_argument("file")
+    p_rec.add_argument("--pool", type=int, default=None, help=pool_help)
+
+    p_save = sub.add_parser("save",
+                            help="vectorize FILE and write the paged "
+                                 "on-disk vdoc format to OUT")
+    p_save.add_argument("file")
+    p_save.add_argument("out")
+    p_save.add_argument("--page-size", type=int, default=None,
+                        help="page size in bytes (default 4096)")
+
+    p_open = sub.add_parser("open",
+                            help="open a saved vdoc and print its on-disk "
+                                 "catalog (no vector is materialized)")
+    p_open.add_argument("file")
+    p_open.add_argument("--pool", type=int, default=None, help=pool_help)
 
     p_gen = sub.add_parser("gen", help="emit a synthetic XMark-like document")
     p_gen.add_argument("n_people", type=int)
@@ -69,13 +121,17 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
     try:
         if args.cmd == "stats":
-            stats = _load(args.file).stats()
+            stats = _load(args.file, args.pool).stats()
             for k, v in stats.items():
                 print(f"{k:16} {v}")
         elif args.cmd == "query":
             text = args.xpath.lstrip()
             if text.startswith("/"):
-                result = eval_query(_load(args.file), text, mode=args.mode)
+                if args.plan:
+                    return _usage_error(
+                        "--plan is only valid for XQ queries, not XPath")
+                vdoc = _load(args.file, args.pool)
+                result = eval_query(vdoc, text, mode=args.mode)
                 print(f"count {result.count()}")
                 if args.values:
                     for v in result.text_values():
@@ -84,12 +140,37 @@ def main(argv: list[str] | None = None) -> int:
                     for item in result.canonical():
                         print(item)
             else:
-                result = eval_xq(_load(args.file), text, mode=args.mode)
+                for flag, on in (("--values", args.values),
+                                 ("--canonical", args.canonical)):
+                    if on:
+                        return _usage_error(
+                            f"{flag} is only valid for XPath queries, "
+                            f"not XQ")
+                vdoc = _load(args.file, args.pool)
+                result = eval_xq(vdoc, text, mode=args.mode)
                 if args.plan and isinstance(result, XQVXResult):
                     print(result.plan.explain(), file=sys.stderr)
                 print(result.to_xml())
+            if args.io_stats:
+                _print_io_stats(vdoc)
         elif args.cmd == "reconstruct":
-            sys.stdout.write(_load(args.file).to_xml())
+            sys.stdout.write(_load(args.file, args.pool).to_xml())
+        elif args.cmd == "save":
+            with open(args.file, "r", encoding="utf-8") as f:
+                vdoc = VectorizedDocument.from_xml(f.read())
+            summary = vdoc.save(args.out, page_size=args.page_size)
+            for k, v in summary.items():
+                print(f"{k:16} {v}")
+        elif args.cmd == "open":
+            vdoc = VectorizedDocument.open(args.file, pool_pages=args.pool)
+            with vdoc:
+                print(f"{'page_size':16} {vdoc.file.page_size}")
+                print(f"{'pages':16} {vdoc.file.n_pages}")
+                print(f"{'skeleton_nodes':16} {len(vdoc.store)}")
+                print(f"{'vectors':16} {len(vdoc.vectors)}")
+                print(f"{'values':16} {sum(len(v) for v in vdoc.vectors.values())}")
+                print(f"{'vector_pages':16} "
+                      f"{sum(v.n_pages for v in vdoc.vectors.values())}")
         elif args.cmd == "gen":
             if args.n_people < 0:
                 print("repro-xq: error: N must be >= 0", file=sys.stderr)

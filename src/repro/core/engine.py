@@ -42,6 +42,25 @@ def _check_scan_once(vdoc: VectorizedDocument) -> None:
             "vectors scanned more than once in one query: "
             + ", ".join("/".join(p) for p in over)
         )
+    # Disk-backed documents: the in-memory counter is additionally checked
+    # against *physical* I/O — within the query window no vector may read
+    # more pages than one full pass over its on-disk chain.
+    over_io = [
+        p for p, v in vdoc.vectors.items()
+        if v.pages_read_in_window() > v.n_pages
+    ]
+    if over_io:
+        raise EngineInvariantError(
+            "vectors read more pages than one full chain pass: "
+            + ", ".join("/".join(p) for p in over_io)
+        )
+    pool = getattr(vdoc, "pool", None)
+    if pool is not None:
+        pinned = pool.pinned_total()
+        if pinned:
+            raise EngineInvariantError(
+                f"{pinned} buffer-pool page pin(s) leaked by the query"
+            )
 
 
 class TreeResult:

@@ -15,6 +15,10 @@ class VectorizedDocument:
     """An XML document in vectorized form: compressed skeleton + data
     vectors.  This is the unit the query engine operates on."""
 
+    #: buffer pool backing the vectors; None for memory-resident documents
+    #: (``repro.storage.DiskVectorizedDocument`` overrides it per instance).
+    pool = None
+
     def __init__(self, store: NodeStore, root: int, vectors: dict[tuple, Vector]):
         self.store = store
         self.root = root
@@ -34,6 +38,28 @@ class VectorizedDocument:
     @classmethod
     def from_events(cls, events) -> "VectorizedDocument":
         return cls(*vectorize_events(events))
+
+    # -- on-disk format (repro.storage) ------------------------------------
+
+    def save(self, path: str, page_size: int | None = None) -> dict:
+        """Write the document to ``path`` in the paged on-disk format
+        (slotted pages; one heap-file chain per vector).  Returns a summary
+        dict (pages, bytes, vectors)."""
+        from ..storage import vdocfile
+
+        if page_size is None:
+            return vdocfile.save_vdoc(self, path)
+        return vdocfile.save_vdoc(self, path, page_size=page_size)
+
+    @classmethod
+    def open(cls, path: str, pool_pages: int | None = None):
+        """Open a saved vdoc disk-backed: skeleton + catalog resident,
+        vectors lazy through a buffer pool of ``pool_pages`` frames
+        (``None`` → unbounded).  Returns a
+        :class:`repro.storage.DiskVectorizedDocument`."""
+        from ..storage import vdocfile
+
+        return vdocfile.open_vdoc(path, pool_pages=pool_pages)
 
     # -- decompression (counted; never used by the vectorized evaluator) --
 
@@ -55,8 +81,11 @@ class VectorizedDocument:
         return self._catalog
 
     def reset_scan_counts(self) -> None:
+        """Open a fresh per-query accounting window: zero the scan counters
+        and mark the current physical page-read level of every vector."""
         for v in self.vectors.values():
             v.scan_count = 0
+            v.reset_io_window()
 
     # -- statistics -------------------------------------------------------
 

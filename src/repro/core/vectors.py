@@ -5,17 +5,27 @@ single vectorized comparison.  A cached float view supports the ordering
 operators.  ``scan()`` is the instrumented access path used by the query
 evaluators — the engine asserts each touched vector is scanned at most once
 per query, the paper's "each data vector is scanned at most once" guarantee.
+
+All access to the column goes through the :meth:`Vector._col` hook so a
+disk-backed subclass (``repro.storage.vdocfile.LazyVector``) can defer
+materialization to the first touch — loading its pages through the buffer
+pool and charging the physical reads to the per-vector ``pages_read``
+counter the engine checks against ``n_pages`` (at most one full page pass
+per vector per query).  For the in-memory vector both counters stay 0.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..util import parse_float
+
 PathKey = tuple  # tuple[str, ...] root label path, ending with '#'
 
 
 class Vector:
-    __slots__ = ("path", "_values", "_floats", "scan_count")
+    __slots__ = ("path", "_values", "_floats", "scan_count",
+                 "pages_read", "n_pages", "_io_baseline")
 
     def __init__(self, path: PathKey, values):
         self.path = path
@@ -27,51 +37,80 @@ class Vector:
                 self._values = self._values.astype(np.str_)
         self._floats: np.ndarray | None = None
         self.scan_count = 0
+        self.pages_read = 0   # physical pages read for this column, ever
+        self.n_pages = 0      # pages of its on-disk chain (0 = in memory)
+        self._io_baseline = 0
 
     def __len__(self) -> int:
-        return len(self._values)
+        return len(self._col())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Vector({'/'.join(self.path)!r}, n={len(self)})"
+
+    # -- materialization hook (overridden by disk-backed vectors) ---------
+
+    def _col(self) -> np.ndarray:
+        return self._values
+
+    # -- per-query I/O accounting -----------------------------------------
+
+    def reset_io_window(self) -> None:
+        """Start a per-query window for :meth:`pages_read_in_window`."""
+        self._io_baseline = self.pages_read
+
+    def pages_read_in_window(self) -> int:
+        return self.pages_read - self._io_baseline
 
     # -- instrumented access (query hot path) -----------------------------
 
     def scan(self) -> np.ndarray:
         """Return the full column, counting one sequential scan."""
         self.scan_count += 1
-        return self._values
+        return self._col()
 
     def floats(self) -> np.ndarray:
         """The column parsed as float64 (NaN where non-numeric), cached.
 
         Derived from the already-loaded column; it does not count as an
-        additional scan.
+        additional scan.  Numeric-ness is decided by one parse —
+        :func:`repro.util.parse_float`, which rejects underscore digit
+        separators — on both the bulk and the per-element path, so a
+        value's interpretation never depends on its sibling values (or on
+        the numpy version's ``astype`` string parser).
         """
         if self._floats is None:
+            col = self._col()
+            under = np.char.find(col, "_") >= 0 if len(col) else \
+                np.zeros(0, dtype=bool)
             try:
-                self._floats = self._values.astype(np.float64)
+                floats = col.astype(np.float64)
+                floats[under] = np.nan
             except ValueError:
-                out = np.full(len(self._values), np.nan)
-                for i, v in enumerate(self._values):
+                floats = np.full(len(col), np.nan)
+                for i, v in enumerate(col):
                     try:
-                        out[i] = float(v)
+                        floats[i] = parse_float(v)
                     except ValueError:
                         pass
-                self._floats = out
+            self._floats = floats
         return self._floats
 
     # -- uninstrumented access (reconstruction / materialization) ---------
 
     def at(self, i: int) -> str:
-        return str(self._values[i])
+        return str(self._col()[i])
 
     def gather(self, ids: np.ndarray) -> np.ndarray:
         """Bulk positional gather as a numpy column (result construction
         copies source ranges into output vectors with this)."""
-        return self._values[ids]
+        return self._col()[ids]
 
     def take(self, ids: np.ndarray) -> list[str]:
-        return [str(v) for v in self._values[ids]]
+        return [str(v) for v in self._col()[ids]]
 
     def slice(self, start: int, stop: int) -> list[str]:
-        return [str(v) for v in self._values[start:stop]]
+        return [str(v) for v in self._col()[start:stop]]
+
+    def tolist(self) -> list[str]:
+        """Every value in document order (used by the on-disk writer)."""
+        return [str(v) for v in self._col()]

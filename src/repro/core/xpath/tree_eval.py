@@ -8,6 +8,7 @@ can compare them on arbitrary documents.
 
 from __future__ import annotations
 
+from ...util import parse_float
 from ...xmldata.model import Element, Node, Text, node_label, preorder, xpath_children
 from .ast import CHILD, Path, Pred
 
@@ -34,7 +35,7 @@ def _compare(value: str, op: str, const: str) -> bool:
     if op == "!=":
         return value != const
     try:
-        a, b = float(value), float(const)
+        a, b = parse_float(value), parse_float(const)
     except ValueError:
         return False
     if op == "<":

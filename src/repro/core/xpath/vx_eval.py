@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...util import parse_float
 from ..paths import PathsCatalog, ranges_to_ordinals
 from ..vectors import Vector
 from .ast import CHILD, Path, Pred
@@ -89,7 +90,7 @@ def pred_mask(cache: VectorCache, qpath: tuple, op: str, const: str) -> np.ndarr
     if op == "!=":
         return cache.column(qpath) != const
     try:
-        c = float(const)
+        c = parse_float(const)
     except ValueError:
         n = len(cache.column(qpath))
         return np.zeros(n, dtype=bool)

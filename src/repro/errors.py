@@ -28,6 +28,11 @@ class XQCompileError(ReproError):
     (unknown variable, cyclic let chain, misplaced text/attribute step)."""
 
 
+class StorageError(ReproError):
+    """On-disk storage failure: corrupt page file, buffer pool exhaustion
+    (every frame pinned), or pin/unpin misuse."""
+
+
 class DecompressionForbiddenError(ReproError):
     """Skeleton decompression attempted inside a forbid_decompression() block.
 

@@ -1,0 +1,35 @@
+"""Shore-like storage manager (ROADMAP `repro.storage`): slotted pages,
+heap files, a clock-eviction buffer pool with strict pin accounting and
+I/O statistics, and the paged on-disk vectorized-document format with
+lazily materialized data vectors.
+
+The engine's "each data vector is scanned at most once" invariant is
+checked against this layer's *physical* page-read counts when a document
+is disk-backed — the paper's §5 lazy-I/O claim, made falsifiable.
+"""
+
+from .buffer import BufferPool, IOStats
+from .disk import PageFile
+from .heap import HeapFile
+from .pages import DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, SlottedPage
+from .vdocfile import (
+    DiskVectorizedDocument,
+    LazyVector,
+    open_vdoc,
+    save_vdoc,
+)
+
+__all__ = [
+    "BufferPool",
+    "IOStats",
+    "PageFile",
+    "HeapFile",
+    "SlottedPage",
+    "DEFAULT_PAGE_SIZE",
+    "MIN_PAGE_SIZE",
+    "MAX_PAGE_SIZE",
+    "DiskVectorizedDocument",
+    "LazyVector",
+    "save_vdoc",
+    "open_vdoc",
+]

@@ -1,0 +1,175 @@
+"""Buffer pool: bounded page cache with clock (second-chance) eviction.
+
+Every page access of the storage layer goes through :meth:`BufferPool.pin`
+— the only call sites of ``PageFile.read_page`` / ``write_page`` — so the
+pool's :class:`IOStats` are the ground truth for the lazy-loading claims:
+the engine checks "each data vector is scanned at most once" against these
+physical page-read counts, not just against in-memory scan counters.
+
+Pin/unpin is strict accounting: a pinned frame is never evicted, unpinning
+below zero raises, and the engine asserts ``pinned_total() == 0`` after
+every query — a leaked pin is a bug, not a warning.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+from .disk import PageFile
+
+
+@dataclass
+class IOStats:
+    """Physical + logical I/O counters, all monotonically increasing."""
+
+    pages_read: int = 0       # physical page reads (== cache misses)
+    pages_written: int = 0    # physical page write-backs
+    hits: int = 0             # pins served from the pool
+    misses: int = 0           # pins that had to read
+    evictions: int = 0        # frames reclaimed by the clock
+
+    def as_dict(self) -> dict:
+        return {
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _Frame:
+    buf: bytearray
+    pin_count: int = 0
+    ref: bool = True          # clock reference bit
+    dirty: bool = field(default=False)
+
+
+class BufferPool:
+    """At most ``capacity`` resident pages of one :class:`PageFile`
+    (``capacity=None`` → unbounded)."""
+
+    def __init__(self, file: PageFile, capacity: int | None = None):
+        if capacity is not None and capacity < 2:
+            # heap-file appends pin the old tail while linking a fresh page
+            raise StorageError("buffer pool needs a capacity of >= 2 pages")
+        self.file = file
+        self.capacity = capacity
+        self.stats = IOStats()
+        self._frames: dict[int, _Frame] = {}
+        self._clock: list[int] = []  # resident pids in frame-table order
+        self._hand = 0
+
+    @property
+    def page_size(self) -> int:
+        return self.file.page_size
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self, pid: int) -> bytearray:
+        """Fix page ``pid`` in memory and return its frame buffer."""
+        frame = self._frames.get(pid)
+        if frame is not None:
+            self.stats.hits += 1
+            frame.pin_count += 1
+            frame.ref = True
+            return frame.buf
+        self.stats.misses += 1
+        self._make_room()
+        buf = bytearray(self.file.read_page(pid))
+        self.stats.pages_read += 1
+        self._admit(pid, buf)
+        return buf
+
+    def new_page(self) -> tuple[int, bytearray]:
+        """Allocate a fresh page and return it pinned (dirty, zeroed) —
+        no physical read for pages that never existed."""
+        self._make_room()
+        pid = self.file.allocate()
+        buf = bytearray(self.page_size)
+        frame = self._admit(pid, buf)
+        frame.dirty = True
+        return pid, buf
+
+    def unpin(self, pid: int, dirty: bool = False) -> None:
+        frame = self._frames.get(pid)
+        if frame is None or frame.pin_count <= 0:
+            raise StorageError(f"unpin of page {pid} that is not pinned")
+        frame.pin_count -= 1
+        frame.dirty |= dirty
+
+    @contextmanager
+    def page(self, pid: int, dirty: bool = False):
+        """``with pool.page(pid) as buf:`` — pin for the block's duration."""
+        buf = self.pin(pid)
+        try:
+            yield buf
+        finally:
+            self.unpin(pid, dirty)
+
+    def pinned_total(self) -> int:
+        """Sum of all pin counts (the engine asserts 0 after a query)."""
+        return sum(f.pin_count for f in self._frames.values())
+
+    def resident(self) -> int:
+        return len(self._frames)
+
+    # -- clock eviction ----------------------------------------------------
+
+    def _admit(self, pid: int, buf: bytearray) -> _Frame:
+        frame = _Frame(buf, pin_count=1)
+        self._frames[pid] = frame
+        self._clock.append(pid)
+        return frame
+
+    def _make_room(self) -> None:
+        if self.capacity is None or len(self._frames) < self.capacity:
+            return
+        # Second-chance sweep: skip pinned frames, clear one reference bit
+        # per pass; after two full revolutions every unpinned frame has had
+        # its bit cleared, so finding no victim means everything is pinned.
+        scanned, limit = 0, 2 * len(self._clock)
+        while scanned < limit:
+            if self._hand >= len(self._clock):
+                self._hand = 0
+            pid = self._clock[self._hand]
+            frame = self._frames[pid]
+            if frame.pin_count > 0:
+                self._hand += 1
+            elif frame.ref:
+                frame.ref = False
+                self._hand += 1
+            else:
+                self._evict(pid)
+                del self._clock[self._hand]  # hand now points at the next
+                return
+            scanned += 1
+        raise StorageError(
+            f"buffer pool exhausted: all {len(self._frames)} frames pinned")
+
+    def _evict(self, pid: int) -> None:
+        frame = self._frames.pop(pid)
+        if frame.dirty:
+            self.file.write_page(pid, bytes(frame.buf))
+            self.stats.pages_written += 1
+        self.stats.evictions += 1
+
+    # -- durability --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write back every dirty frame (frames stay resident)."""
+        for pid in sorted(self._frames):
+            frame = self._frames[pid]
+            if frame.dirty:
+                self.file.write_page(pid, bytes(frame.buf))
+                self.stats.pages_written += 1
+                frame.dirty = False
+        self.file.flush()
+
+    def close(self) -> None:
+        if self.pinned_total():
+            raise StorageError("closing buffer pool with pinned pages")
+        self.flush()

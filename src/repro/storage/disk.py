@@ -1,0 +1,134 @@
+"""Page files: fixed-size pages in one OS file, plus the format header.
+
+All physical I/O of the storage layer happens here, one whole page per
+read/write, and only ever through the buffer pool — the pool is where
+reads and writes are counted.  The file starts with a 32-byte header::
+
+    0   8 bytes  magic  b"RVXPG1\\x00\\x00"
+    8   u16      format version
+    10  u32      page size
+    14  u64      page count
+    22  i64      meta page id (head of the document catalog heap, -1 none)
+    30  2 bytes  reserved
+
+Page ``pid`` lives at byte offset ``32 + pid * page_size``.  Allocation
+just extends the logical page count; a page that was never written back
+reads as zeros (the file may be sparse), so allocating is free of I/O.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from ..errors import StorageError
+from .pages import DEFAULT_PAGE_SIZE, check_page_size
+
+MAGIC = b"RVXPG1\x00\x00"
+FORMAT_VERSION = 1
+FILE_HEADER = 32
+
+_FHDR = struct.Struct("<HIQq")
+
+
+class PageFile:
+    """A file of fixed-size pages.  Use :meth:`create` / :meth:`open`."""
+
+    def __init__(self, path: str, fobj, page_size: int, n_pages: int,
+                 meta_page: int):
+        self.path = path
+        self._f = fobj
+        self.page_size = page_size
+        self.n_pages = n_pages
+        self.meta_page = meta_page
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> "PageFile":
+        check_page_size(page_size)
+        f = open(path, "w+b")
+        pf = cls(path, f, page_size, 0, -1)
+        pf._write_header()
+        return pf
+
+    @classmethod
+    def open(cls, path: str) -> "PageFile":
+        f = open(path, "r+b")
+        header = f.read(FILE_HEADER)
+        if len(header) < FILE_HEADER or not header.startswith(MAGIC):
+            f.close()
+            raise StorageError(f"{path}: not a vdoc page file (bad magic)")
+        version, page_size, n_pages, meta = _FHDR.unpack_from(header, len(MAGIC))
+        if version != FORMAT_VERSION:
+            f.close()
+            raise StorageError(f"{path}: unsupported format version {version}")
+        check_page_size(page_size)
+        return cls(path, f, page_size, n_pages, meta)
+
+    @staticmethod
+    def is_page_file(path: str) -> bool:
+        """Cheap sniff used by the CLI to dispatch XML vs. vdoc inputs."""
+        try:
+            with open(path, "rb") as f:
+                return f.read(len(MAGIC)) == MAGIC
+        except OSError:
+            return False
+
+    def _write_header(self) -> None:
+        self._f.seek(0)
+        self._f.write(MAGIC + _FHDR.pack(FORMAT_VERSION, self.page_size,
+                                         self.n_pages, self.meta_page))
+        pad = FILE_HEADER - len(MAGIC) - _FHDR.size
+        self._f.write(b"\x00" * pad)
+
+    def set_meta(self, pid: int) -> None:
+        self.meta_page = pid
+        self._write_header()
+
+    def flush(self) -> None:
+        self._write_header()
+        self._f.flush()
+
+    def close(self) -> None:
+        if self._f is not None:
+            self.flush()
+            self._f.close()
+            self._f = None
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- page I/O (buffer pool only) ---------------------------------------
+
+    def allocate(self) -> int:
+        """Extend the file by one (initially all-zero) page; no I/O."""
+        pid = self.n_pages
+        self.n_pages += 1
+        return pid
+
+    def read_page(self, pid: int) -> bytes:
+        if not 0 <= pid < self.n_pages:
+            raise StorageError(f"page {pid} out of range (file has "
+                               f"{self.n_pages})")
+        self._f.seek(FILE_HEADER + pid * self.page_size)
+        data = self._f.read(self.page_size)
+        if len(data) < self.page_size:  # allocated but never written back
+            data = data + b"\x00" * (self.page_size - len(data))
+        return data
+
+    def write_page(self, pid: int, buf: bytes) -> None:
+        if not 0 <= pid < self.n_pages:
+            raise StorageError(f"page {pid} out of range (file has "
+                               f"{self.n_pages})")
+        if len(buf) != self.page_size:
+            raise StorageError("page buffer size mismatch")
+        self._f.seek(FILE_HEADER + pid * self.page_size)
+        self._f.write(buf)
+
+    def size_bytes(self) -> int:
+        """Current on-disk size (header + written pages)."""
+        return os.fstat(self._f.fileno()).st_size

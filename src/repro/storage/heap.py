@@ -1,0 +1,110 @@
+"""Heap files: ordered byte-string records over a chain of slotted pages.
+
+A heap file is a singly linked chain of pages (``next_page`` links).
+Records append at the tail and are read back in insertion order — exactly
+the access pattern of a data vector (XMILL-style container: one heap per
+column, values in document order).  A record may be split into consecutive
+fragments when it crosses a page boundary; :meth:`records` stitches them
+back transparently.
+
+All page access goes through the owning :class:`BufferPool`; a scan pins
+one page at a time and copies the fragments out before unpinning, so an
+abandoned iterator can never leak a pin.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import StorageError
+from .buffer import BufferPool
+from .pages import MAX_FRAGMENT, SlottedPage
+
+
+class HeapFile:
+    __slots__ = ("pool", "head", "n_pages", "_tail")
+
+    def __init__(self, pool: BufferPool, head: int, n_pages: int | None = None):
+        self.pool = pool
+        self.head = head
+        #: chain length in pages; exact when created fresh or passed in from
+        #: the catalog, measured lazily (one chain walk) otherwise.
+        self.n_pages = n_pages
+        self._tail = head
+
+    @classmethod
+    def create(cls, pool: BufferPool) -> "HeapFile":
+        pid, buf = pool.new_page()
+        SlottedPage.init(buf, pool.page_size)
+        pool.unpin(pid, dirty=True)
+        heap = cls(pool, pid, n_pages=1)
+        return heap
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: bytes) -> None:
+        """Append one record at the tail, fragmenting across pages as
+        needed (zero-length records are legal)."""
+        pool = self.pool
+        data = record
+        while True:
+            buf = pool.pin(self._tail)
+            page = SlottedPage(buf, pool.page_size)
+            cap = page.free_capacity()
+            if cap < (1 if data else 0):
+                npid, nbuf = pool.new_page()
+                SlottedPage.init(nbuf, pool.page_size)
+                page.next_page = npid
+                pool.unpin(self._tail, dirty=True)
+                pool.unpin(npid, dirty=True)
+                self._tail = npid
+                if self.n_pages is not None:
+                    self.n_pages += 1
+                continue
+            take = min(len(data), cap, MAX_FRAGMENT)
+            continued = take < len(data)
+            page.append_fragment(data[:take], continued)
+            pool.unpin(self._tail, dirty=True)
+            if not continued:
+                return
+            data = data[take:]
+
+    # -- reading -----------------------------------------------------------
+
+    def pages(self) -> list[int]:
+        """Page ids of the chain, head to tail (walks through the pool)."""
+        out: list[int] = []
+        pid = self.head
+        while pid != -1:
+            out.append(pid)
+            with self.pool.page(pid) as buf:
+                pid = SlottedPage(buf, self.pool.page_size).next_page
+        if self.n_pages is None:
+            self.n_pages = len(out)
+        return out
+
+    def records(self) -> Iterator[bytes]:
+        """All records in insertion order, one sequential chain pass."""
+        pool = self.pool
+        pid = self.head
+        pending = bytearray()
+        open_record = False
+        n_seen = 0
+        while pid != -1:
+            complete: list[bytes] = []
+            with pool.page(pid) as buf:
+                page = SlottedPage(buf, pool.page_size)
+                for slot in range(page.n_slots):
+                    frag, continued = page.fragment(slot)
+                    pending += frag
+                    open_record = continued
+                    if not continued:
+                        complete.append(bytes(pending))
+                        pending.clear()
+                pid = page.next_page
+            n_seen += 1
+            yield from complete
+        if open_record:
+            raise StorageError("heap chain ends inside a fragmented record")
+        if self.n_pages is None:
+            self.n_pages = n_seen

@@ -1,0 +1,121 @@
+"""Slotted pages: the fixed-size unit of disk I/O (Shore-style).
+
+A page is ``page_size`` bytes::
+
+    +--------+---------------------------+-------------------+
+    | header | record fragments (grow →) | ← slot directory  |
+    +--------+---------------------------+-------------------+
+
+Header (8 bytes, little-endian): ``u16 n_slots``, ``u16 free_ptr`` (offset
+of the first free byte in the record area), ``i32 next_page`` (chain link
+for heap files, -1 = end).  The slot directory grows down from the page
+end, one 4-byte entry per slot: ``u16 offset``, ``u16 length`` whose high
+bit is the *continuation flag* — a record larger than the remaining free
+space is split into consecutive fragments (possibly spanning pages of a
+heap-file chain); every fragment except the last carries the flag.
+
+Pages never own their bytes: they are lightweight views over a buffer-pool
+frame (``bytearray``), so mutating a page mutates the frame in place and
+the pool's dirty tracking does the rest.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import StorageError
+
+PAGE_HEADER = 8
+SLOT_SIZE = 4
+CONT_FLAG = 0x8000
+MAX_FRAGMENT = 0x7FFF
+
+_HDR = struct.Struct("<HHi")
+_SLOT = struct.Struct("<HH")
+
+#: Smallest page that can hold the header, one slot and a few bytes of
+#: payload; the ceiling keeps u16 offsets valid.
+MIN_PAGE_SIZE = 64
+MAX_PAGE_SIZE = 32768
+DEFAULT_PAGE_SIZE = 4096
+
+
+def check_page_size(page_size: int) -> int:
+    if not MIN_PAGE_SIZE <= page_size <= MAX_PAGE_SIZE:
+        raise StorageError(
+            f"page size {page_size} out of range "
+            f"[{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]")
+    return page_size
+
+
+class SlottedPage:
+    """A structured view over one page-sized ``bytearray`` frame."""
+
+    __slots__ = ("buf", "page_size")
+
+    def __init__(self, buf: bytearray, page_size: int):
+        self.buf = buf
+        self.page_size = page_size
+
+    @classmethod
+    def init(cls, buf: bytearray, page_size: int) -> "SlottedPage":
+        """Format a fresh frame as an empty page with no successor."""
+        page = cls(buf, page_size)
+        _HDR.pack_into(buf, 0, 0, PAGE_HEADER, -1)
+        return page
+
+    # -- header fields -----------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        return _HDR.unpack_from(self.buf, 0)[0]
+
+    @property
+    def free_ptr(self) -> int:
+        return _HDR.unpack_from(self.buf, 0)[1]
+
+    @property
+    def next_page(self) -> int:
+        return _HDR.unpack_from(self.buf, 0)[2]
+
+    @next_page.setter
+    def next_page(self, pid: int) -> None:
+        n, free, _ = _HDR.unpack_from(self.buf, 0)
+        _HDR.pack_into(self.buf, 0, n, free, pid)
+
+    # -- space accounting --------------------------------------------------
+
+    def free_capacity(self) -> int:
+        """Payload bytes available for one more fragment (its 4-byte slot
+        entry already accounted for).  May be negative on a full page."""
+        n, free, _ = _HDR.unpack_from(self.buf, 0)
+        dir_bottom = self.page_size - SLOT_SIZE * n
+        return dir_bottom - SLOT_SIZE - free
+
+    # -- fragments ---------------------------------------------------------
+
+    def append_fragment(self, data: bytes, continued: bool) -> int:
+        """Write one fragment; returns its slot index.  The caller must
+        have checked :meth:`free_capacity`."""
+        if len(data) > MAX_FRAGMENT:
+            raise StorageError(f"fragment of {len(data)} bytes exceeds "
+                               f"the {MAX_FRAGMENT}-byte slot limit")
+        n, free, nxt = _HDR.unpack_from(self.buf, 0)
+        if len(data) > self.free_capacity():
+            raise StorageError("fragment does not fit in page free space")
+        self.buf[free:free + len(data)] = data
+        slot_off = self.page_size - SLOT_SIZE * (n + 1)
+        _SLOT.pack_into(self.buf, slot_off, free,
+                        len(data) | (CONT_FLAG if continued else 0))
+        _HDR.pack_into(self.buf, 0, n + 1, free + len(data), nxt)
+        return n
+
+    def fragment(self, slot: int) -> tuple[bytes, bool]:
+        """The payload bytes of ``slot`` and its continuation flag."""
+        if not 0 <= slot < self.n_slots:
+            raise StorageError(f"slot {slot} out of range (page has "
+                               f"{self.n_slots})")
+        off, raw = _SLOT.unpack_from(
+            self.buf, self.page_size - SLOT_SIZE * (slot + 1))
+        length = raw & MAX_FRAGMENT
+        return bytes(self.buf[off:off + length]), bool(raw & CONT_FLAG)

@@ -1,8 +1,26 @@
-"""Small shared helpers: timing and table formatting."""
+"""Small shared helpers: numeric text parsing, timing, table formatting."""
 
 from __future__ import annotations
 
 import time
+
+
+def parse_float(s: str) -> float:
+    """The engine's *single* definition of "numeric text" for the ordering
+    operators.
+
+    Python's ``float()`` accepts underscore digit separators (``"1_0"`` →
+    10.0) while numpy's column-wise ``astype(float)`` rejects them on some
+    versions and accepts them on others — so a value's numeric
+    interpretation could depend on which code path (and which numpy) parsed
+    it, i.e. on its *sibling* values.  Every comparison path goes through
+    this one parse instead: underscore literals are rejected outright.
+
+    Raises ``ValueError`` for non-numeric text.
+    """
+    if "_" in s:
+        raise ValueError(f"underscore digit separators rejected: {s!r}")
+    return float(s)
 
 
 class Timer:

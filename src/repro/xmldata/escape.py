@@ -28,6 +28,27 @@ def escape_attr(s: str) -> str:
     )
 
 
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
+_DEC_DIGITS = set("0123456789")
+
+
+def _char_ref(name: str, pos: int) -> str:
+    """Resolve a numeric character reference ``#...`` / ``#x...``; any
+    malformed or out-of-range reference is a :class:`ParseError` at the
+    ``&`` position — never a raw ``ValueError`` out of ``int``/``chr``."""
+    if name.startswith("#x") or name.startswith("#X"):
+        digits, base, allowed = name[2:], 16, _HEX_DIGITS
+    else:
+        digits, base, allowed = name[1:], 10, _DEC_DIGITS
+    if not digits or not all(c in allowed for c in digits):
+        raise ParseError(f"malformed character reference &{name};", pos)
+    code = int(digits, base)
+    if code > 0x10FFFF:
+        raise ParseError(
+            f"character reference &{name}; out of range (> U+10FFFF)", pos)
+    return chr(code)
+
+
 def unescape(s: str) -> str:
     """Resolve the five builtin entities and numeric character references."""
     if "&" not in s:
@@ -44,10 +65,8 @@ def unescape(s: str) -> str:
         if semi < 0:
             raise ParseError("unterminated entity reference", amp)
         name = s[amp + 1 : semi]
-        if name.startswith("#x") or name.startswith("#X"):
-            out.append(chr(int(name[2:], 16)))
-        elif name.startswith("#"):
-            out.append(chr(int(name[1:])))
+        if name.startswith("#"):
+            out.append(_char_ref(name, amp))
         elif name in _BUILTIN:
             out.append(_BUILTIN[name])
         else:

@@ -46,6 +46,64 @@ def test_cli_reports_errors(tmp_path, capsys):
     assert main(["query", str(g), "not-an-xpath"]) == 1
 
 
+def test_cli_rejects_inapplicable_flags(tmp_path, capsys):
+    """Regression: --values/--canonical on XQ and --plan on XPath used to
+    be silently ignored; they are usage errors naming the flag."""
+    f = _gen(tmp_path, 5)
+    xq = "for $p in //person return <r>{$p/name}</r>"
+
+    assert main(["query", str(f), xq, "--values"]) == 2
+    assert "--values" in capsys.readouterr().err
+
+    assert main(["query", str(f), xq, "--canonical"]) == 2
+    assert "--canonical" in capsys.readouterr().err
+
+    assert main(["query", str(f), "/site/people/person", "--plan"]) == 2
+    assert "--plan" in capsys.readouterr().err
+
+    # the still-valid combinations keep working
+    assert main(["query", str(f), "/site/people/person", "--values",
+                 "--canonical"]) == 0
+    capsys.readouterr()
+    assert main(["query", str(f), xq, "--plan"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_save_open_query_disk(tmp_path, capsys):
+    f = _gen(tmp_path, 12)
+    vdoc_path = str(tmp_path / "doc.vdoc")
+
+    assert main(["save", str(f), vdoc_path, "--page-size", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "pages" in out and "vectors" in out
+
+    assert main(["open", vdoc_path]) == 0
+    out = capsys.readouterr().out
+    assert "page_size" in out and "vector_pages" in out
+
+    query = "//item[quantity > 2]/name"
+    assert main(["query", str(f), query, "--canonical"]) == 0
+    mem_out = capsys.readouterr().out
+    assert main(["query", vdoc_path, query, "--canonical",
+                 "--pool", "16", "--io-stats"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == mem_out  # byte-identical to the in-memory path
+    assert "pages_read=" in captured.err and "pinned=0" in captured.err
+
+    # stats and reconstruct accept vdoc inputs transparently
+    assert main(["stats", vdoc_path, "--pool", "16"]) == 0
+    assert "vectors" in capsys.readouterr().out
+    assert main(["reconstruct", vdoc_path]) == 0
+    assert capsys.readouterr().out.rstrip("\n") == \
+        f.read_text(encoding="utf-8").rstrip("\n")
+
+    # corrupt / non-vdoc binary input is a reported error, not a traceback
+    bad = tmp_path / "bad.vdoc"
+    bad.write_bytes(b"\x00" * 64)
+    assert main(["stats", str(bad)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
 def test_cli_xq_query(tmp_path, capsys):
     f = _gen(tmp_path, 15)
     q = ("for $p in /site/people/person where $p/profile/age > '40' "
