@@ -13,7 +13,11 @@ in four regimes:
   reads as the small pool (lazy loading reads each chain at most once
   either way — the paper's scan-once claim, now measured in pages);
 * ``pool-warm / unbounded``  — columns dropped but the pool retains every
-  page: rescans are pure buffer hits, zero reads.
+  page: rescans are pure buffer hits, zero reads;
+* ``cold / noverify``        — fresh open with per-page checksum
+  verification disabled: the baseline that prices the format-v2
+  integrity checks.  The cold-path checksum overhead must stay under 10%
+  (asserted only when the baseline is long enough to time reliably).
 
 Before timing, both queries are checked byte-identical against the
 in-memory document.  Results go to BENCH_disk.json.  Exits nonzero if a
@@ -38,7 +42,13 @@ from repro import __version__  # noqa: E402
 from repro.core.engine import eval_query, eval_xq  # noqa: E402
 from repro.core.vdoc import VectorizedDocument  # noqa: E402
 from repro.datasets.synth import xmark_like_xml  # noqa: E402
+from repro.storage import open_vdoc  # noqa: E402
 from repro.util import Timer, fmt_table, human_count  # noqa: E402
+
+#: cold-path checksum overhead ceiling, and the shortest noverify
+#: baseline that is long enough to price it against
+MAX_CRC_OVERHEAD = 0.10
+CRC_TIMING_FLOOR_S = 0.05
 
 XPATH = "//item[quantity > 5]/name"
 XQ = ("for $c in /site/closed_auctions/closed_auction, "
@@ -64,6 +74,7 @@ def _io_delta(pool, before: dict) -> dict:
 def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
     records = []
     failures: list[str] = []
+    overheads: dict[int, float] = {}
     tmpdir = tempfile.mkdtemp(prefix="bench_disk_")
     for n_people in sizes:
         xml = xmark_like_xml(n_people, seed=42)
@@ -111,9 +122,18 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
                         _io_delta(disk.pool, base)))
         disk.close()
 
+        # cold again, checksums off: prices the format-v2 verification
+        disk = open_vdoc(path, pool_pages=None, verify_checksums=False)
+        base = disk.pool.stats.as_dict()
+        t = _run_both(disk)
+        regimes.append(("cold/noverify", t, _io_delta(disk.pool, base)))
+        disk.close()
+
         io_by_name = {}
+        times = {}
         for name, t, io in regimes:
             io_by_name[name] = io
+            times[name] = t
             records.append({
                 "n_people": n_people,
                 "file_bytes": summary["bytes"],
@@ -137,6 +157,23 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
         if io_by_name["cold/small"]["evictions"] == 0 \
                 and io_by_name["cold/small"]["pages_read"] > pool_pages:
             failures.append(f"n={n_people}: small pool never evicted")
+        if io_by_name["cold/noverify"]["pages_read"] != \
+                io_by_name["cold/unbounded"]["pages_read"]:
+            failures.append(f"n={n_people}: noverify run changed the "
+                            f"physical read count")
+
+        # checksum overhead: verified cold pass vs. the noverify twin
+        t_verify, t_plain = times["cold/unbounded"], times["cold/noverify"]
+        overhead = t_verify / t_plain - 1.0 if t_plain > 0 else 0.0
+        overheads[n_people] = overhead
+        print(f"   checksum overhead (cold): {overhead * 100:+.1f}%"
+              + ("" if t_plain >= CRC_TIMING_FLOOR_S
+                 else "  [below timing floor, not asserted]"))
+        if t_plain >= CRC_TIMING_FLOOR_S and overhead > MAX_CRC_OVERHEAD:
+            failures.append(
+                f"n={n_people}: checksum verification costs "
+                f"{overhead * 100:.1f}% on the cold path "
+                f"(budget {MAX_CRC_OVERHEAD * 100:.0f}%)")
 
     headers = ["people", "regime", "time (ms)", "reads", "hits", "evict"]
     rows = [[human_count(r["n_people"]), r["regime"], f"{r['t_s'] * 1e3:.2f}",
@@ -152,6 +189,9 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
         "pool_pages": pool_pages,
         "queries": {"xpath": XPATH, "xq": XQ},
         "records": records,
+        "checksum_overhead": {str(n): round(v, 4)
+                              for n, v in overheads.items()},
+        "max_crc_overhead": MAX_CRC_OVERHEAD,
         "profile_failures": failures,
     }
     pathlib.Path(out_path).write_text(json.dumps(payload, indent=2) + "\n",

@@ -8,6 +8,7 @@ Subcommands::
     repro-xq reconstruct FILE [--pool N]     vectorize then decompress back
     repro-xq save FILE OUT [--page-size B]   write the on-disk vdoc format
     repro-xq open FILE [--pool N]            print a saved vdoc's catalog
+    repro-xq check FILE [--deep]             verify a .vdoc's integrity
     repro-xq gen N [--seed S]                synthetic XMark-like document
 
 ``FILE`` may be XML text or a saved ``.vdoc`` page file (sniffed by
@@ -114,6 +115,15 @@ def main(argv: list[str] | None = None) -> int:
     p_open.add_argument("file")
     p_open.add_argument("--pool", type=int, default=None, help=pool_help)
 
+    p_check = sub.add_parser("check",
+                             help="verify a .vdoc page file: header, page "
+                                  "checksums, heap chains, catalog cross-"
+                                  "checks; exits nonzero on any finding")
+    p_check.add_argument("file")
+    p_check.add_argument("--deep", action="store_true",
+                         help="additionally UTF-8-decode every value and "
+                              "report orphaned pages")
+
     p_gen = sub.add_parser("gen", help="emit a synthetic XMark-like document")
     p_gen.add_argument("n_people", type=int)
     p_gen.add_argument("--seed", type=int, default=0)
@@ -171,6 +181,18 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{'values':16} {sum(len(v) for v in vdoc.vectors.values())}")
                 print(f"{'vector_pages':16} "
                       f"{sum(v.n_pages for v in vdoc.vectors.values())}")
+        elif args.cmd == "check":
+            from .storage.fsck import verify_vdoc
+
+            findings = verify_vdoc(args.file, deep=args.deep)
+            for finding in findings:
+                print(finding)
+            if findings:
+                print(f"{args.file}: {len(findings)} integrity "
+                      f"finding(s)", file=sys.stderr)
+                return 1
+            mode = "deep" if args.deep else "shallow"
+            print(f"{args.file}: ok ({mode} check, no findings)")
         elif args.cmd == "gen":
             if args.n_people < 0:
                 print("repro-xq: error: N must be >= 0", file=sys.stderr)

@@ -35,6 +35,19 @@ from .xquery.parser import parse_xq
 MODES = ("vx", "naive")
 
 
+def _check_no_pins(vdoc: VectorizedDocument) -> None:
+    """Zero leaked buffer-pool pins — asserted even when a query fails,
+    so corrupt on-disk data surfaces as a StorageError with the pool
+    intact and reusable, not as a poisoned pool."""
+    pool = getattr(vdoc, "pool", None)
+    if pool is not None:
+        pinned = pool.pinned_total()
+        if pinned:
+            raise EngineInvariantError(
+                f"{pinned} buffer-pool page pin(s) leaked by the query"
+            )
+
+
 def _check_scan_once(vdoc: VectorizedDocument) -> None:
     over = [p for p, v in vdoc.vectors.items() if v.scan_count > 1]
     if over:
@@ -54,13 +67,7 @@ def _check_scan_once(vdoc: VectorizedDocument) -> None:
             "vectors read more pages than one full chain pass: "
             + ", ".join("/".join(p) for p in over_io)
         )
-    pool = getattr(vdoc, "pool", None)
-    if pool is not None:
-        pinned = pool.pinned_total()
-        if pinned:
-            raise EngineInvariantError(
-                f"{pinned} buffer-pool page pin(s) leaked by the query"
-            )
+    _check_no_pins(vdoc)
 
 
 class TreeResult:
@@ -96,8 +103,12 @@ def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx"):
         return TreeResult(tree, evaluate_tree(tree, path))
 
     vdoc.reset_scan_counts()
-    with forbid_decompression():
-        result: VXResult = evaluate_vx(vdoc, path)
+    try:
+        with forbid_decompression():
+            result: VXResult = evaluate_vx(vdoc, path)
+    except BaseException:
+        _check_no_pins(vdoc)  # a failed query must not leak pins either
+        raise
     _check_scan_once(vdoc)
     return result
 
@@ -146,10 +157,14 @@ def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx"):
         return XQTreeResult(out)
 
     vdoc.reset_scan_counts()
-    with forbid_decompression():
-        plan = plan_query(gq, vdoc)
-        cache = VectorCache(vdoc.vectors)
-        table = reduce_query(vdoc, gq, plan, cache)
-        out = build_result(vdoc, gr, table)
+    try:
+        with forbid_decompression():
+            plan = plan_query(gq, vdoc)
+            cache = VectorCache(vdoc.vectors)
+            table = reduce_query(vdoc, gq, plan, cache)
+            out = build_result(vdoc, gr, table)
+    except BaseException:
+        _check_no_pins(vdoc)  # a failed query must not leak pins either
+        raise
     _check_scan_once(vdoc)
     return XQVXResult(out, plan, table)

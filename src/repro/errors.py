@@ -33,6 +33,29 @@ class StorageError(ReproError):
     (every frame pinned), or pin/unpin misuse."""
 
 
+class CorruptDataError(StorageError):
+    """On-disk bytes failed validation: a page checksum mismatch, a slot
+    entry pointing outside its page, a broken heap chain, an undecodable
+    record.  Carries the location when known (``page``, ``slot``,
+    ``offset``) so fsck and error reports can name the damaged spot."""
+
+    def __init__(self, message: str, page: int | None = None,
+                 slot: int | None = None, offset: int | None = None):
+        where = []
+        if page is not None:
+            where.append(f"page {page}")
+        if slot is not None:
+            where.append(f"slot {slot}")
+        if offset is not None:
+            where.append(f"offset {offset}")
+        if where:
+            message = f"{', '.join(where)}: {message}"
+        super().__init__(message)
+        self.page = page
+        self.slot = slot
+        self.offset = offset
+
+
 class DecompressionForbiddenError(ReproError):
     """Skeleton decompression attempted inside a forbid_decompression() block.
 

@@ -52,12 +52,16 @@ class BufferPool:
     """At most ``capacity`` resident pages of one :class:`PageFile`
     (``capacity=None`` → unbounded)."""
 
-    def __init__(self, file: PageFile, capacity: int | None = None):
+    def __init__(self, file: PageFile, capacity: int | None = None,
+                 verify: bool = True):
         if capacity is not None and capacity < 2:
             # heap-file appends pin the old tail while linking a fresh page
             raise StorageError("buffer pool needs a capacity of >= 2 pages")
         self.file = file
         self.capacity = capacity
+        #: checksum-verify every physical page read (format v2 integrity);
+        #: off only for benchmarking the verification overhead itself.
+        self.verify = verify
         self.stats = IOStats()
         self._frames: dict[int, _Frame] = {}
         self._clock: list[int] = []  # resident pids in frame-table order
@@ -79,7 +83,7 @@ class BufferPool:
             return frame.buf
         self.stats.misses += 1
         self._make_room()
-        buf = bytearray(self.file.read_page(pid))
+        buf = bytearray(self.file.read_page(pid, verify=self.verify))
         self.stats.pages_read += 1
         self._admit(pid, buf)
         return buf
@@ -153,7 +157,7 @@ class BufferPool:
     def _evict(self, pid: int) -> None:
         frame = self._frames.pop(pid)
         if frame.dirty:
-            self.file.write_page(pid, bytes(frame.buf))
+            self.file.write_page(pid, frame.buf)  # stamps the page crc
             self.stats.pages_written += 1
         self.stats.evictions += 1
 
@@ -164,7 +168,7 @@ class BufferPool:
         for pid in sorted(self._frames):
             frame = self._frames[pid]
             if frame.dirty:
-                self.file.write_page(pid, bytes(frame.buf))
+                self.file.write_page(pid, frame.buf)  # stamps the page crc
                 self.stats.pages_written += 1
                 frame.dirty = False
         self.file.flush()

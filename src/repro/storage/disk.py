@@ -2,33 +2,91 @@
 
 All physical I/O of the storage layer happens here, one whole page per
 read/write, and only ever through the buffer pool — the pool is where
-reads and writes are counted.  The file starts with a 32-byte header::
+reads and writes are counted.  Format v2 starts with a 40-byte header::
 
     0   8 bytes  magic  b"RVXPG1\\x00\\x00"
-    8   u16      format version
+    8   u16      format version (2)
     10  u32      page size
     14  u64      page count
     22  i64      meta page id (head of the document catalog heap, -1 none)
-    30  2 bytes  reserved
+    30  u32      header crc (over all 40 bytes with this field zeroed)
+    34  6 bytes  reserved (zero, covered by the header crc)
 
-Page ``pid`` lives at byte offset ``32 + pid * page_size``.  Allocation
+Page ``pid`` lives at byte offset ``40 + pid * page_size``.  Allocation
 just extends the logical page count; a page that was never written back
-reads as zeros (the file may be sparse), so allocating is free of I/O.
+reads as zeros (the file may be sparse) — but :meth:`flush` pads the file
+to its full declared length with ``ftruncate``, so a complete file is
+always exactly ``FILE_HEADER + n_pages * page_size`` bytes and
+:meth:`open` rejects any other size as truncation/corruption.
+
+Integrity (format v2): every page write-back stamps the page checksum
+(:func:`repro.storage.pages.stamp_crc`) and every physical read verifies
+it — an all-zero page is accepted as "allocated, never written".  Version
+1 files (no checksums) are rejected with a clear error telling the user
+to re-save.  All file objects are routed through
+:func:`repro.storage.faults.wrap_file` so the fault-injection harness can
+tear, flip, or crash any individual I/O deterministically.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import zlib
 
-from ..errors import StorageError
-from .pages import DEFAULT_PAGE_SIZE, check_page_size
+from ..errors import CorruptDataError, StorageError
+from . import faults
+from .pages import (
+    DEFAULT_PAGE_SIZE,
+    check_page_size,
+    page_crc,
+    stamp_crc,
+    stored_crc,
+)
 
 MAGIC = b"RVXPG1\x00\x00"
-FORMAT_VERSION = 1
-FILE_HEADER = 32
+FORMAT_VERSION = 2
+FILE_HEADER = 40
 
-_FHDR = struct.Struct("<HIQq")
+#: (version, page_size, n_pages, meta_page, header_crc) after the magic.
+_FHDR = struct.Struct("<HIQqI")
+_VERSION_OFF = len(MAGIC)
+_HCRC_OFF = len(MAGIC) + struct.calcsize("<HIQq")
+
+
+def _header_bytes(page_size: int, n_pages: int, meta_page: int) -> bytes:
+    body = bytearray(FILE_HEADER)
+    body[:len(MAGIC)] = MAGIC
+    _FHDR.pack_into(body, len(MAGIC), FORMAT_VERSION, page_size, n_pages,
+                    meta_page, 0)
+    crc = zlib.crc32(bytes(body)) & 0xFFFFFFFF
+    struct.pack_into("<I", body, _HCRC_OFF, crc)
+    return bytes(body)
+
+
+def _check_header(header: bytes, path: str) -> tuple[int, int, int]:
+    """Validate a raw 40-byte header; returns (page_size, n_pages, meta)."""
+    if len(header) < _VERSION_OFF + 2 or not header.startswith(MAGIC):
+        raise StorageError(f"{path}: not a vdoc page file (bad magic)")
+    version = struct.unpack_from("<H", header, _VERSION_OFF)[0]
+    if version != FORMAT_VERSION:
+        hint = (" (format v1 predates page checksums; re-save the document"
+                " to upgrade)" if version == 1 else "")
+        raise StorageError(
+            f"{path}: unsupported format version {version}{hint}")
+    if len(header) < FILE_HEADER:
+        raise CorruptDataError(f"{path}: file shorter than the "
+                               f"{FILE_HEADER}-byte header")
+    _, page_size, n_pages, meta, crc = _FHDR.unpack_from(header, len(MAGIC))
+    zeroed = bytearray(header[:FILE_HEADER])
+    struct.pack_into("<I", zeroed, _HCRC_OFF, 0)
+    actual = zlib.crc32(bytes(zeroed)) & 0xFFFFFFFF
+    if crc != actual:
+        raise CorruptDataError(
+            f"{path}: file header checksum mismatch "
+            f"(stored {crc:#010x}, computed {actual:#010x})")
+    check_page_size(page_size)
+    return page_size, n_pages, meta
 
 
 class PageFile:
@@ -41,29 +99,36 @@ class PageFile:
         self.page_size = page_size
         self.n_pages = n_pages
         self.meta_page = meta_page
+        #: header (or declared length) changed since the last flush; a
+        #: pure-read session never writes a byte back to the file.
+        self._hdr_dirty = False
 
     # -- lifecycle ---------------------------------------------------------
 
     @classmethod
     def create(cls, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> "PageFile":
         check_page_size(page_size)
-        f = open(path, "w+b")
+        f = faults.wrap_file(open(path, "w+b"))
         pf = cls(path, f, page_size, 0, -1)
         pf._write_header()
         return pf
 
     @classmethod
     def open(cls, path: str) -> "PageFile":
-        f = open(path, "r+b")
-        header = f.read(FILE_HEADER)
-        if len(header) < FILE_HEADER or not header.startswith(MAGIC):
+        f = faults.wrap_file(open(path, "r+b"))
+        try:
+            header = f.read(FILE_HEADER)
+            page_size, n_pages, meta = _check_header(header, path)
+            expected = FILE_HEADER + n_pages * page_size
+            actual = os.fstat(f.fileno()).st_size
+            if actual != expected:
+                raise CorruptDataError(
+                    f"{path}: file is {actual} bytes but the header "
+                    f"declares {n_pages} pages of {page_size} "
+                    f"({expected} bytes) — truncated or corrupt header")
+        except BaseException:
             f.close()
-            raise StorageError(f"{path}: not a vdoc page file (bad magic)")
-        version, page_size, n_pages, meta = _FHDR.unpack_from(header, len(MAGIC))
-        if version != FORMAT_VERSION:
-            f.close()
-            raise StorageError(f"{path}: unsupported format version {version}")
-        check_page_size(page_size)
+            raise
         return cls(path, f, page_size, n_pages, meta)
 
     @staticmethod
@@ -77,23 +142,51 @@ class PageFile:
 
     def _write_header(self) -> None:
         self._f.seek(0)
-        self._f.write(MAGIC + _FHDR.pack(FORMAT_VERSION, self.page_size,
-                                         self.n_pages, self.meta_page))
-        pad = FILE_HEADER - len(MAGIC) - _FHDR.size
-        self._f.write(b"\x00" * pad)
+        self._f.write(_header_bytes(self.page_size, self.n_pages,
+                                    self.meta_page))
 
     def set_meta(self, pid: int) -> None:
         self.meta_page = pid
-        self._write_header()
+        self._hdr_dirty = True
 
     def flush(self) -> None:
+        if not self._hdr_dirty:
+            return
         self._write_header()
+        # Pad the file to its declared length so open() can tell a fully
+        # written file from a truncated one.  The tail stays sparse on
+        # filesystems that support holes, so this is metadata-only.
+        full = FILE_HEADER + self.n_pages * self.page_size
+        if os.fstat(self._f.fileno()).st_size < full:
+            self._f.truncate(full)
         self._f.flush()
+        self._hdr_dirty = False
+
+    def fsync(self) -> None:
+        """Force file contents to stable storage (durability barrier)."""
+        faults.fsync(self._f)
 
     def close(self) -> None:
         if self._f is not None:
             self.flush()
             self._f.close()
+            self._f = None
+
+    def sync_close(self) -> None:
+        """Flush, fsync and close — nothing is written after the sync."""
+        if self._f is not None:
+            self.flush()
+            self.fsync()
+            self._f.close()
+            self._f = None
+
+    def abort(self) -> None:
+        """Close the descriptor without flushing (error/crash paths)."""
+        if self._f is not None:
+            try:
+                self._f.close()
+            except OSError:
+                pass
             self._f = None
 
     def __enter__(self) -> "PageFile":
@@ -108,9 +201,10 @@ class PageFile:
         """Extend the file by one (initially all-zero) page; no I/O."""
         pid = self.n_pages
         self.n_pages += 1
+        self._hdr_dirty = True
         return pid
 
-    def read_page(self, pid: int) -> bytes:
+    def read_page(self, pid: int, verify: bool = True) -> bytes:
         if not 0 <= pid < self.n_pages:
             raise StorageError(f"page {pid} out of range (file has "
                                f"{self.n_pages})")
@@ -118,16 +212,35 @@ class PageFile:
         data = self._f.read(self.page_size)
         if len(data) < self.page_size:  # allocated but never written back
             data = data + b"\x00" * (self.page_size - len(data))
+        if verify:
+            self.verify_page(pid, data)
         return data
 
-    def write_page(self, pid: int, buf: bytes) -> None:
+    def verify_page(self, pid: int, data: bytes) -> None:
+        """Checksum one page's bytes; an all-zero page is a legal
+        allocated-but-never-written page."""
+        stored = stored_crc(data)
+        actual = page_crc(data)
+        if stored != actual and data.count(0) != len(data):
+            raise CorruptDataError(
+                f"page checksum mismatch (stored {stored:#010x}, "
+                f"computed {actual:#010x})", page=pid)
+
+    def write_page(self, pid: int, buf) -> None:
         if not 0 <= pid < self.n_pages:
             raise StorageError(f"page {pid} out of range (file has "
                                f"{self.n_pages})")
         if len(buf) != self.page_size:
             raise StorageError("page buffer size mismatch")
+        if isinstance(buf, bytearray):
+            stamp_crc(buf)           # pool frame: stamp in place
+            data = bytes(buf)
+        else:
+            data = bytearray(buf)
+            stamp_crc(data)
+            data = bytes(data)
         self._f.seek(FILE_HEADER + pid * self.page_size)
-        self._f.write(buf)
+        self._f.write(data)
 
     def size_bytes(self) -> int:
         """Current on-disk size (header + written pages)."""

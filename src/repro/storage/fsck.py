@@ -1,0 +1,296 @@
+"""``verify_vdoc`` — offline integrity checker for .vdoc page files.
+
+The fsck of the storage layer: given a path, it collects *findings*
+instead of raising, so one run reports every problem it can reach with a
+page/slot location for each.  Checks, in dependency order:
+
+1. file header: magic, format version, page size, header checksum, and
+   the declared page count against the actual file size;
+2. checksum sweep: every page either carries a valid checksum or is
+   entirely zero (allocated but never written);
+3. page structure: slot directory within the page, ``free_ptr`` bounds,
+   every slot entry inside the record area, fragments contiguous and
+   consistent with ``free_ptr``;
+4. catalog: the meta heap chain walks without cycles, decodes as JSON
+   and passes the same strict schema the open path enforces;
+5. skeleton: every node record decodes, child runs stay inside the
+   already-interned prefix, hash-cons replay reproduces the ids, and the
+   node count matches the catalog;
+6. vectors: every chain walks acyclically to exactly its cataloged
+   length and holds exactly the cataloged number of records;
+7. cross-checks: no page is claimed by two chains.
+
+``deep`` additionally UTF-8-decodes every vector value and reports pages
+belonging to no chain (dead space a correct writer never produces) — a
+strict superset of the shallow findings.
+
+Everything is read-only: the target file is opened ``rb`` and never
+written, so fsck is safe on a file you suspect is damaged.  All chain
+walks use the corruption-hardened :class:`HeapFile` guards, so fsck can
+neither hang nor crash on any input — it just reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from ..core.skeleton import NodeStore
+from ..errors import StorageError
+from . import disk
+from .buffer import BufferPool
+from .disk import FILE_HEADER, PageFile
+from .heap import HeapFile
+from .pages import PAGE_HEADER, SlottedPage, page_crc, stored_crc
+from .vdocfile import VDOC_FORMAT, _check_catalog, _decode_node
+
+
+@dataclass
+class Finding:
+    """One verified defect, with its location when known."""
+
+    code: str                 # header | size | page-crc | page-structure |
+    #                           slot | chain | catalog | skeleton | vector |
+    #                           value | cross | orphan
+    message: str
+    page: int | None = None
+    slot: int | None = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.page is not None:
+            where.append(f"page {self.page}")
+        if self.slot is not None:
+            where.append(f"slot {self.slot}")
+        loc = f" [{', '.join(where)}]" if where else ""
+        return f"{self.code}{loc}: {self.message}"
+
+
+class _Check:
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    def add(self, code: str, message: str, page: int | None = None,
+            slot: int | None = None) -> None:
+        self.findings.append(Finding(code, message, page, slot))
+
+
+def _check_page_structure(out: _Check, page: SlottedPage, pid: int) -> None:
+    """Slot directory, free_ptr and fragment layout of one page."""
+    try:
+        page.check_header()
+    except StorageError as exc:
+        out.add("page-structure", str(exc), page=pid)
+        return
+    expected = PAGE_HEADER
+    for slot in range(page.n_slots):
+        try:
+            off, length, _ = page.slot_entry(slot)
+        except StorageError as exc:
+            out.add("slot", str(exc), page=pid, slot=slot)
+            return
+        if off < expected:
+            out.add("slot", f"fragment at {off} overlaps the previous "
+                            f"fragment ending at {expected}",
+                    page=pid, slot=slot)
+            return
+        if off > expected:
+            out.add("slot", f"gap before fragment at {off} (previous "
+                            f"fragment ended at {expected})",
+                    page=pid, slot=slot)
+            return
+        expected = off + length
+    if expected != page.free_ptr:
+        out.add("page-structure",
+                f"free_ptr {page.free_ptr} does not match the end of the "
+                f"last fragment ({expected})", page=pid)
+
+
+def _walk_chain(out: _Check, code: str, what: str, heap: HeapFile,
+                expected_pages: int | None, expected_n: int | None,
+                deep: bool, count_records: bool = True) -> list[int] | None:
+    """Walk one heap chain, record findings; returns its page ids or
+    None when the walk itself failed."""
+    try:
+        pages = heap.pages()
+    except StorageError as exc:
+        out.add("chain", f"{what}: {exc}",
+                page=getattr(exc, "page", None))
+        return None
+    if expected_pages is not None and len(pages) != expected_pages:
+        out.add("chain", f"{what}: chain is {len(pages)} pages, catalog "
+                         f"says {expected_pages}", page=pages[-1])
+        return pages
+    if not count_records:
+        return pages
+    count = 0
+    try:
+        for i, rec in enumerate(heap.records()):
+            count += 1
+            if deep:
+                try:
+                    rec.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    out.add("value", f"{what}: record {i} is not valid "
+                                     f"UTF-8 ({exc})")
+    except StorageError as exc:
+        out.add(code, f"{what}: {exc}", page=getattr(exc, "page", None),
+                slot=getattr(exc, "slot", None))
+        return pages
+    if expected_n is not None and count != expected_n:
+        out.add(code, f"{what}: {count} records on disk, catalog says "
+                      f"{expected_n}", page=pages[0] if pages else None)
+    return pages
+
+
+def verify_vdoc(path: str, deep: bool = False) -> list[Finding]:
+    """Verify the .vdoc at ``path``; returns all findings (empty = clean)."""
+    out = _Check()
+    try:
+        f = open(path, "rb")
+    except OSError as exc:
+        out.add("header", str(exc))
+        return out.findings
+    try:
+        header = f.read(FILE_HEADER)
+        try:
+            page_size, n_pages, meta_page = disk._check_header(header, path)
+        except StorageError as exc:
+            out.add("header", str(exc))
+            return out.findings
+
+        actual = os.fstat(f.fileno()).st_size
+        expected = FILE_HEADER + n_pages * page_size
+        if actual != expected:
+            out.add("size", f"file is {actual} bytes but the header "
+                            f"declares {n_pages} pages of {page_size} "
+                            f"({expected} bytes)")
+
+        # read-only PageFile view (bypasses open()'s fatal size check so
+        # the sweep can still cover whatever pages are present)
+        pf = PageFile(path, f, page_size, n_pages, meta_page)
+        pool = BufferPool(pf, capacity=None, verify=False)
+
+        # -- checksum + structure sweep over every page --------------------
+        zero_pages: set[int] = set()
+        for pid in range(n_pages):
+            try:
+                data = pf.read_page(pid, verify=False)
+            except StorageError as exc:
+                out.add("page-crc", str(exc), page=pid)
+                continue
+            if data.count(0) == len(data):
+                zero_pages.add(pid)  # allocated, never written
+                continue
+            stored, computed = stored_crc(data), page_crc(data)
+            if stored != computed:
+                out.add("page-crc",
+                        f"checksum mismatch (stored {stored:#010x}, "
+                        f"computed {computed:#010x})", page=pid)
+                continue  # structure of a corrupt page is noise
+            _check_page_structure(
+                out, SlottedPage(bytearray(data), page_size, pid), pid)
+
+        # -- catalog -------------------------------------------------------
+        if meta_page < 0:
+            out.add("catalog", "page file has no vdoc catalog")
+            return out.findings
+        if meta_page >= n_pages:
+            out.add("catalog", f"catalog head page {meta_page} outside the "
+                               f"file ({n_pages} pages)")
+            return out.findings
+        claimed: dict[int, str] = {}
+        meta_heap = HeapFile(pool, meta_page)
+        try:
+            meta_records = list(meta_heap.records())
+        except StorageError as exc:
+            out.add("catalog", str(exc), page=getattr(exc, "page", None))
+            return out.findings
+        for pid in meta_heap.pages():
+            claimed[pid] = "catalog"
+        if not meta_records:
+            out.add("catalog", "empty vdoc catalog", page=meta_page)
+            return out.findings
+        try:
+            meta = json.loads(meta_records[0].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            out.add("catalog", f"catalog is not valid JSON ({exc})",
+                    page=meta_page)
+            return out.findings
+        try:
+            _check_catalog(meta, path, n_pages)  # also rejects format != 2
+        except StorageError as exc:
+            out.add("catalog", str(exc))
+            return out.findings
+
+        # -- skeleton ------------------------------------------------------
+        skel = HeapFile(pool, meta["skeleton"]["head"],
+                        n_pages=meta["skeleton"]["pages"])
+        skel_pages = _walk_chain(out, "skeleton", "skeleton chain", skel,
+                                 meta["skeleton"]["pages"], None,
+                                 deep=False, count_records=False)
+        if skel_pages is not None:
+            store = NodeStore()
+            try:
+                for nid, record in enumerate(skel.records()):
+                    label, runs = _decode_node(record)
+                    if nid == 0:
+                        if label != "#" or runs:
+                            out.add("skeleton",
+                                    "node 0 is not the text marker")
+                            break
+                        continue
+                    bad = [r for r in runs
+                           if not 0 <= r[0] < nid or r[1] < 1]
+                    if bad:
+                        out.add("skeleton",
+                                f"node {nid} has child run {bad[0]} outside "
+                                f"the already-interned prefix")
+                        break
+                    if store.intern(label, runs) != nid:
+                        out.add("skeleton", f"records out of interning "
+                                            f"order at node {nid}")
+                        break
+                else:
+                    if len(store) != meta["n_nodes"]:
+                        out.add("skeleton",
+                                f"catalog says {meta['n_nodes']} nodes, "
+                                f"chain holds {len(store)}")
+                    elif not 1 <= meta["root"] < len(store):
+                        out.add("skeleton",
+                                f"root id {meta['root']} outside the "
+                                f"skeleton ({len(store)} nodes)")
+            except StorageError as exc:
+                out.add("skeleton", str(exc),
+                        page=getattr(exc, "page", None),
+                        slot=getattr(exc, "slot", None))
+        if skel_pages:
+            for pid in skel_pages:
+                prev = claimed.setdefault(pid, "skeleton")
+                if prev != "skeleton":
+                    out.add("cross", f"page claimed by both {prev} and "
+                                     f"the skeleton chain", page=pid)
+
+        # -- vectors -------------------------------------------------------
+        for entry in meta["vectors"]:
+            name = "/".join(entry["path"])
+            heap = HeapFile(pool, entry["head"], n_pages=entry["pages"])
+            pages = _walk_chain(out, "vector", f"vector {name}", heap,
+                                entry["pages"], entry["n"], deep=deep)
+            for pid in pages or ():
+                prev = claimed.setdefault(pid, name)
+                if prev != name:
+                    out.add("cross", f"page claimed by both {prev} and "
+                                     f"vector {name}", page=pid)
+
+        # -- orphans (deep): pages no chain accounts for -------------------
+        if deep:
+            for pid in range(n_pages):
+                if pid not in claimed and pid not in zero_pages:
+                    out.add("orphan",
+                            "written page belongs to no heap chain",
+                            page=pid)
+        return out.findings
+    finally:
+        f.close()

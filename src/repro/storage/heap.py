@@ -10,13 +10,19 @@ back transparently.
 All page access goes through the owning :class:`BufferPool`; a scan pins
 one page at a time and copies the fragments out before unpinning, so an
 abandoned iterator can never leak a pin.
+
+Chain walks are corruption-hardened: a ``next_page`` link that points
+outside the file, revisits a page already on this walk (a cycle), or
+extends the chain past its cataloged length raises
+:class:`CorruptDataError` naming the offending page — a corrupt link can
+make a walk *fail*, never *hang*.
 """
 
 from __future__ import annotations
 
 from typing import Iterator
 
-from ..errors import StorageError
+from ..errors import CorruptDataError, StorageError
 from .buffer import BufferPool
 from .pages import MAX_FRAGMENT, SlottedPage
 
@@ -35,7 +41,7 @@ class HeapFile:
     @classmethod
     def create(cls, pool: BufferPool) -> "HeapFile":
         pid, buf = pool.new_page()
-        SlottedPage.init(buf, pool.page_size)
+        SlottedPage.init(buf, pool.page_size, pid)
         pool.unpin(pid, dirty=True)
         heap = cls(pool, pid, n_pages=1)
         return heap
@@ -49,11 +55,11 @@ class HeapFile:
         data = record
         while True:
             buf = pool.pin(self._tail)
-            page = SlottedPage(buf, pool.page_size)
+            page = SlottedPage(buf, pool.page_size, self._tail)
             cap = page.free_capacity()
             if cap < (1 if data else 0):
                 npid, nbuf = pool.new_page()
-                SlottedPage.init(nbuf, pool.page_size)
+                SlottedPage.init(nbuf, pool.page_size, npid)
                 page.next_page = npid
                 pool.unpin(self._tail, dirty=True)
                 pool.unpin(npid, dirty=True)
@@ -71,14 +77,35 @@ class HeapFile:
 
     # -- reading -----------------------------------------------------------
 
+    def _check_link(self, pid: int, nxt: int, visited: set[int]) -> None:
+        """Validate one chain link before following it."""
+        if nxt == -1:
+            return
+        if not 0 <= nxt < self.pool.file.n_pages:
+            raise CorruptDataError(
+                f"heap chain link to page {nxt} outside the file "
+                f"({self.pool.file.n_pages} pages)", page=pid)
+        if nxt in visited:
+            raise CorruptDataError(
+                f"heap chain cycle: link back to already-visited page {nxt}",
+                page=pid)
+        if self.n_pages is not None and len(visited) >= self.n_pages:
+            raise CorruptDataError(
+                f"heap chain longer than its cataloged {self.n_pages} pages",
+                page=pid)
+
     def pages(self) -> list[int]:
         """Page ids of the chain, head to tail (walks through the pool)."""
         out: list[int] = []
+        visited: set[int] = set()
         pid = self.head
         while pid != -1:
             out.append(pid)
+            visited.add(pid)
             with self.pool.page(pid) as buf:
-                pid = SlottedPage(buf, self.pool.page_size).next_page
+                nxt = SlottedPage(buf, self.pool.page_size, pid).next_page
+            self._check_link(pid, nxt, visited)
+            pid = nxt
         if self.n_pages is None:
             self.n_pages = len(out)
         return out
@@ -89,11 +116,12 @@ class HeapFile:
         pid = self.head
         pending = bytearray()
         open_record = False
-        n_seen = 0
+        visited: set[int] = set()
         while pid != -1:
+            visited.add(pid)
             complete: list[bytes] = []
             with pool.page(pid) as buf:
-                page = SlottedPage(buf, pool.page_size)
+                page = SlottedPage(buf, pool.page_size, pid)
                 for slot in range(page.n_slots):
                     frag, continued = page.fragment(slot)
                     pending += frag
@@ -101,10 +129,11 @@ class HeapFile:
                     if not continued:
                         complete.append(bytes(pending))
                         pending.clear()
-                pid = page.next_page
-            n_seen += 1
+                nxt = page.next_page
+            self._check_link(pid, nxt, visited)
+            pid = nxt
             yield from complete
         if open_record:
             raise StorageError("heap chain ends inside a fragmented record")
         if self.n_pages is None:
-            self.n_pages = n_seen
+            self.n_pages = len(visited)

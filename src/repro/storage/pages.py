@@ -6,13 +6,21 @@ A page is ``page_size`` bytes::
     | header | record fragments (grow →) | ← slot directory  |
     +--------+---------------------------+-------------------+
 
-Header (8 bytes, little-endian): ``u16 n_slots``, ``u16 free_ptr`` (offset
-of the first free byte in the record area), ``i32 next_page`` (chain link
-for heap files, -1 = end).  The slot directory grows down from the page
-end, one 4-byte entry per slot: ``u16 offset``, ``u16 length`` whose high
-bit is the *continuation flag* — a record larger than the remaining free
-space is split into consecutive fragments (possibly spanning pages of a
-heap-file chain); every fragment except the last carries the flag.
+Header (12 bytes, little-endian, format v2): ``u16 n_slots``, ``u16
+free_ptr`` (offset of the first free byte in the record area), ``i32
+next_page`` (chain link for heap files, -1 = end), ``u32 crc`` — a page
+checksum over the whole page with the crc field itself taken as zero.
+The checksum is stamped by :meth:`PageFile.write_page` on every write-back
+and verified on every physical read, so a flipped bit anywhere in a page
+surfaces as :class:`CorruptDataError` instead of a wrong query answer.
+(The polynomial is zlib's CRC-32 — the toolchain has it at C speed; a
+software CRC-32C table would blow the read-path budget.)
+
+The slot directory grows down from the page end, one 4-byte entry per
+slot: ``u16 offset``, ``u16 length`` whose high bit is the *continuation
+flag* — a record larger than the remaining free space is split into
+consecutive fragments (possibly spanning pages of a heap-file chain);
+every fragment except the last carries the flag.
 
 Pages never own their bytes: they are lightweight views over a buffer-pool
 frame (``bytearray``), so mutating a page mutates the frame in place and
@@ -22,15 +30,19 @@ the pool's dirty tracking does the rest.
 from __future__ import annotations
 
 import struct
+import zlib
 
-from ..errors import StorageError
+from ..errors import CorruptDataError, StorageError
 
-PAGE_HEADER = 8
+PAGE_HEADER = 12
 SLOT_SIZE = 4
 CONT_FLAG = 0x8000
 MAX_FRAGMENT = 0x7FFF
 
+CRC_OFFSET = 8  # u32 page checksum lives at header bytes [8, 12)
+
 _HDR = struct.Struct("<HHi")
+_CRC = struct.Struct("<I")
 _SLOT = struct.Struct("<HH")
 
 #: Smallest page that can hold the header, one slot and a few bytes of
@@ -48,19 +60,41 @@ def check_page_size(page_size: int) -> int:
     return page_size
 
 
+def page_crc(buf) -> int:
+    """Checksum of a page with its own crc field taken as zero."""
+    view = memoryview(buf)
+    crc = zlib.crc32(view[:CRC_OFFSET])
+    return zlib.crc32(view[CRC_OFFSET + _CRC.size:], crc) & 0xFFFFFFFF
+
+
+def stored_crc(buf) -> int:
+    return _CRC.unpack_from(buf, CRC_OFFSET)[0]
+
+
+def stamp_crc(buf: bytearray) -> None:
+    """Write the page's current checksum into its crc field in place."""
+    _CRC.pack_into(buf, CRC_OFFSET, page_crc(buf))
+
+
 class SlottedPage:
-    """A structured view over one page-sized ``bytearray`` frame."""
+    """A structured view over one page-sized ``bytearray`` frame.
 
-    __slots__ = ("buf", "page_size")
+    ``pid`` is carried for error reporting only — a corrupt slot entry or
+    header raises :class:`CorruptDataError` naming the page and slot.
+    """
 
-    def __init__(self, buf: bytearray, page_size: int):
+    __slots__ = ("buf", "page_size", "pid")
+
+    def __init__(self, buf: bytearray, page_size: int, pid: int | None = None):
         self.buf = buf
         self.page_size = page_size
+        self.pid = pid
 
     @classmethod
-    def init(cls, buf: bytearray, page_size: int) -> "SlottedPage":
+    def init(cls, buf: bytearray, page_size: int,
+             pid: int | None = None) -> "SlottedPage":
         """Format a fresh frame as an empty page with no successor."""
-        page = cls(buf, page_size)
+        page = cls(buf, page_size, pid)
         _HDR.pack_into(buf, 0, 0, PAGE_HEADER, -1)
         return page
 
@@ -82,6 +116,40 @@ class SlottedPage:
     def next_page(self, pid: int) -> None:
         n, free, _ = _HDR.unpack_from(self.buf, 0)
         _HDR.pack_into(self.buf, 0, n, free, pid)
+
+    # -- integrity ---------------------------------------------------------
+
+    def dir_bottom(self) -> int:
+        """First byte of the slot directory (record area ends here)."""
+        return self.page_size - SLOT_SIZE * self.n_slots
+
+    def check_header(self) -> None:
+        """Validate the structural header invariants (not the checksum):
+        the slot directory fits in the page and ``free_ptr`` lies between
+        the header and the directory.  Raises :class:`CorruptDataError`."""
+        n, free, _ = _HDR.unpack_from(self.buf, 0)
+        bottom = self.page_size - SLOT_SIZE * n
+        if bottom < PAGE_HEADER:
+            raise CorruptDataError(
+                f"slot directory of {n} entries overruns the page",
+                page=self.pid)
+        if not PAGE_HEADER <= free <= bottom:
+            raise CorruptDataError(
+                f"free_ptr {free} outside the record area "
+                f"[{PAGE_HEADER}, {bottom}]", page=self.pid)
+
+    def slot_entry(self, slot: int) -> tuple[int, int, bool]:
+        """Raw ``(offset, length, continued)`` of one slot entry, bounds
+        checked against the header (which must be valid)."""
+        off, raw = _SLOT.unpack_from(
+            self.buf, self.page_size - SLOT_SIZE * (slot + 1))
+        length = raw & MAX_FRAGMENT
+        free = self.free_ptr
+        if off < PAGE_HEADER or off + length > free:
+            raise CorruptDataError(
+                f"fragment [{off}, {off + length}) outside the record "
+                f"area [{PAGE_HEADER}, {free})", page=self.pid, slot=slot)
+        return off, length, bool(raw & CONT_FLAG)
 
     # -- space accounting --------------------------------------------------
 
@@ -111,11 +179,17 @@ class SlottedPage:
         return n
 
     def fragment(self, slot: int) -> tuple[bytes, bool]:
-        """The payload bytes of ``slot`` and its continuation flag."""
+        """The payload bytes of ``slot`` and its continuation flag.
+
+        A slot index past the directory, a directory overrunning the page,
+        or a slot entry whose byte range escapes the record area all raise
+        :class:`CorruptDataError` naming page and slot — corrupt metadata
+        must never read back as silently zero-padded garbage bytes.
+        """
+        self.check_header()
         if not 0 <= slot < self.n_slots:
-            raise StorageError(f"slot {slot} out of range (page has "
-                               f"{self.n_slots})")
-        off, raw = _SLOT.unpack_from(
-            self.buf, self.page_size - SLOT_SIZE * (slot + 1))
-        length = raw & MAX_FRAGMENT
-        return bytes(self.buf[off:off + length]), bool(raw & CONT_FLAG)
+            raise CorruptDataError(
+                f"slot index out of range (page has {self.n_slots})",
+                page=self.pid, slot=slot)
+        off, length, cont = self.slot_entry(slot)
+        return bytes(self.buf[off:off + length]), cont

@@ -1,6 +1,7 @@
 """On-disk vectorized documents: ``save_vdoc`` / ``open_vdoc``.
 
-File layout (all inside one :class:`PageFile`):
+File layout (all inside one :class:`PageFile`, format v2 — per-page
+checksums, see :mod:`repro.storage.disk`):
 
 * one heap-file chain per data vector — the values in document order,
   one string record each (XMILL-style containers);
@@ -12,8 +13,17 @@ File layout (all inside one :class:`PageFile`):
   and per-vector ``{path, n, head page, chain length}``; its head page id
   is stored in the page-file header.
 
+``save_vdoc`` is atomic and durable: it writes to a temp file in the
+destination directory, fsyncs it, ``os.replace``\\ s it into place and
+fsyncs the directory — a crash at any point leaves either the old file
+or the new file at ``path``, never a partial one (machine-checked by the
+crash-point sweep in the test suite, via :mod:`repro.storage.faults`).
+
 Opening reads *only* the catalog and skeleton (the paper's premise that
-the skeleton lives in main memory).  Each vector becomes a
+the skeleton lives in main memory), after validating the catalog against
+a strict schema — every malformed byte pattern at this boundary surfaces
+as :class:`StorageError`/:class:`CorruptDataError`, never as a raw
+``json``/``unicode``/``KeyError``.  Each vector becomes a
 :class:`LazyVector`: no pages of its chain are touched until the first
 ``scan()`` (or any other column access), which materializes the column to
 numpy through the buffer pool in one sequential chain pass and charges
@@ -25,20 +35,23 @@ against real page I/O).
 from __future__ import annotations
 
 import json
+import os
 import struct
+import tempfile
 
 import numpy as np
 
 from ..core.skeleton import NodeStore
 from ..core.vdoc import VectorizedDocument
 from ..core.vectors import Vector
-from ..errors import StorageError
+from ..errors import CorruptDataError, StorageError
+from . import faults
 from .buffer import BufferPool
 from .disk import PageFile
 from .heap import HeapFile
 from .pages import DEFAULT_PAGE_SIZE
 
-VDOC_FORMAT = 1
+VDOC_FORMAT = 2
 
 _RUN = struct.Struct("<qq")
 
@@ -53,8 +66,12 @@ def _encode_node(label: str, children) -> bytes:
 def _decode_node(record: bytes) -> tuple[str, tuple]:
     nul = record.find(b"\x00")
     if nul < 0 or (len(record) - nul - 1) % _RUN.size:
-        raise StorageError("corrupt skeleton node record")
-    label = record[:nul].decode("utf-8")
+        raise CorruptDataError("corrupt skeleton node record")
+    try:
+        label = record[:nul].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CorruptDataError(
+            f"skeleton node label is not valid UTF-8 ({exc})") from exc
     runs = tuple(_RUN.iter_unpack(record[nul + 1:]))
     return label, runs
 
@@ -89,10 +106,17 @@ class LazyVector(Vector):
         if self._values is None:
             pool = self._heap.pool
             before = pool.stats.pages_read
-            values = [rec.decode("utf-8") for rec in self._heap.records()]
+            values = []
+            for i, rec in enumerate(self._heap.records()):
+                try:
+                    values.append(rec.decode("utf-8"))
+                except UnicodeDecodeError as exc:
+                    raise CorruptDataError(
+                        f"vector {'/'.join(self.path)}: value {i} is not "
+                        f"valid UTF-8 ({exc})") from exc
             self.pages_read += pool.stats.pages_read - before
             if len(values) != self._n:
-                raise StorageError(
+                raise CorruptDataError(
                     f"vector {'/'.join(self.path)}: catalog says {self._n} "
                     f"values, chain holds {len(values)}")
             col = np.asarray(values, dtype=np.str_)
@@ -148,65 +172,151 @@ class DiskVectorizedDocument(VectorizedDocument):
         self.close()
 
 
+def _write_vdoc(vdoc: VectorizedDocument, file: PageFile) -> dict:
+    """Write the heaps + catalog into ``file`` and return the meta dict."""
+    pool = BufferPool(file, capacity=None)  # writer: keep all resident
+    catalog = []
+    for vpath in sorted(vdoc.vectors):
+        vec = vdoc.vectors[vpath]
+        heap = HeapFile.create(pool)
+        for value in vec.tolist():
+            heap.append(value.encode("utf-8"))
+        catalog.append({"path": list(vpath), "n": len(vec),
+                        "head": heap.head, "pages": heap.n_pages})
+    store = vdoc.store
+    skel = HeapFile.create(pool)
+    for nid in range(len(store)):
+        skel.append(_encode_node(store.label(nid), store.children(nid)))
+    meta = {
+        "format": VDOC_FORMAT,
+        "root": vdoc.root,
+        "n_nodes": len(store),
+        "skeleton": {"head": skel.head, "pages": skel.n_pages},
+        "vectors": catalog,
+    }
+    meta_heap = HeapFile.create(pool)
+    meta_heap.append(json.dumps(meta, separators=(",", ":")).encode("utf-8"))
+    pool.flush()
+    file.set_meta(meta_heap.head)
+    return meta
+
+
 def save_vdoc(vdoc: VectorizedDocument, path: str,
               page_size: int = DEFAULT_PAGE_SIZE) -> dict:
-    """Write ``vdoc`` to ``path`` in the paged on-disk format; returns a
-    summary (pages, bytes, vector count)."""
-    file = PageFile.create(path, page_size)
+    """Atomically write ``vdoc`` to ``path`` in the paged on-disk format;
+    returns a summary (pages, bytes, vector count).
+
+    The document is written to a temp file in the same directory, fsynced,
+    then renamed over ``path`` (``os.replace``) with a directory fsync —
+    so a crash at any point leaves either the previous file or the
+    complete new one at ``path``, never a torn mix.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    os.close(fd)
     try:
-        pool = BufferPool(file, capacity=None)  # writer: keep all resident
-        catalog = []
-        for vpath in sorted(vdoc.vectors):
-            vec = vdoc.vectors[vpath]
-            heap = HeapFile.create(pool)
-            for value in vec.tolist():
-                heap.append(value.encode("utf-8"))
-            catalog.append({"path": list(vpath), "n": len(vec),
-                            "head": heap.head, "pages": heap.n_pages})
-        store = vdoc.store
-        skel = HeapFile.create(pool)
-        for nid in range(len(store)):
-            skel.append(_encode_node(store.label(nid), store.children(nid)))
-        meta = {
-            "format": VDOC_FORMAT,
-            "root": vdoc.root,
-            "n_nodes": len(store),
-            "skeleton": {"head": skel.head, "pages": skel.n_pages},
-            "vectors": catalog,
-        }
-        meta_heap = HeapFile.create(pool)
-        meta_heap.append(json.dumps(meta, separators=(",", ":")).encode("utf-8"))
-        pool.flush()
-        file.set_meta(meta_heap.head)
-        return {
-            "path": path,
-            "page_size": page_size,
-            "pages": file.n_pages,
-            "bytes": file.size_bytes(),
-            "vectors": len(catalog),
-            "values": sum(e["n"] for e in catalog),
-            "skeleton_nodes": meta["n_nodes"],
-        }
-    finally:
-        file.close()
+        file = PageFile.create(tmp, page_size)
+        try:
+            meta = _write_vdoc(vdoc, file)
+            file.flush()
+            summary = {
+                "path": path,
+                "page_size": page_size,
+                "pages": file.n_pages,
+                "bytes": file.size_bytes(),
+                "vectors": len(meta["vectors"]),
+                "values": sum(e["n"] for e in meta["vectors"]),
+                "skeleton_nodes": meta["n_nodes"],
+            }
+            file.sync_close()  # flush + fsync + close: durable before rename
+        except BaseException:
+            file.abort()
+            raise
+        faults.replace(tmp, path)  # the atomic commit point
+        faults.dir_fsync(directory)
+        return summary
+    except faults.CrashInjected:
+        raise  # simulated process death: no cleanup runs, tmp is left over
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
-def open_vdoc(path: str, pool_pages: int | None = None) -> DiskVectorizedDocument:
+def _req_int(value, what: str, lo: int = 0, hi: int | None = None) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or \
+            value < lo or (hi is not None and value >= hi):
+        raise CorruptDataError(f"vdoc catalog: {what} is {value!r}, expected "
+                               f"an integer >= {lo}"
+                               + (f" and < {hi}" if hi is not None else ""))
+    return value
+
+
+def _check_catalog(meta, path: str, n_pages: int) -> None:
+    """Strict schema validation of the decoded catalog JSON — a corrupt
+    catalog must fail here, not as a ``TypeError`` deep in a chain walk."""
+    if not isinstance(meta, dict):
+        raise CorruptDataError(f"{path}: vdoc catalog is not a JSON object")
+    if meta.get("format") != VDOC_FORMAT:
+        raise StorageError(
+            f"{path}: unsupported vdoc format {meta.get('format')!r}")
+    _req_int(meta.get("root"), "root node id", lo=1)
+    _req_int(meta.get("n_nodes"), "skeleton node count", lo=1)
+    skel = meta.get("skeleton")
+    if not isinstance(skel, dict):
+        raise CorruptDataError(f"{path}: vdoc catalog has no skeleton entry")
+    _req_int(skel.get("head"), "skeleton head page", lo=0, hi=n_pages)
+    _req_int(skel.get("pages"), "skeleton chain length", lo=1,
+             hi=n_pages + 1)
+    vectors = meta.get("vectors")
+    if not isinstance(vectors, list):
+        raise CorruptDataError(f"{path}: vdoc catalog has no vector list")
+    for entry in vectors:
+        if not isinstance(entry, dict):
+            raise CorruptDataError(f"{path}: vdoc catalog vector entry is "
+                                   f"not an object")
+        vpath = entry.get("path")
+        if not isinstance(vpath, list) or not vpath or \
+                not all(isinstance(s, str) for s in vpath):
+            raise CorruptDataError(
+                f"{path}: vector entry path {vpath!r} is not a list of "
+                f"labels")
+        _req_int(entry.get("n"), f"value count of {'/'.join(vpath)}", lo=0)
+        _req_int(entry.get("head"), f"head page of {'/'.join(vpath)}",
+                 lo=0, hi=n_pages)
+        _req_int(entry.get("pages"), f"chain length of {'/'.join(vpath)}",
+                 lo=1, hi=n_pages + 1)
+
+
+def open_vdoc(path: str, pool_pages: int | None = None,
+              verify_checksums: bool = True) -> DiskVectorizedDocument:
     """Open a saved vdoc with a buffer pool of ``pool_pages`` frames
     (``None`` → unbounded).  Reads the catalog and skeleton eagerly,
-    vectors lazily."""
+    vectors lazily.  ``verify_checksums=False`` skips the per-read page
+    checksum (benchmarking the verification overhead only)."""
     file = PageFile.open(path)
     try:
-        pool = BufferPool(file, capacity=pool_pages)
+        pool = BufferPool(file, capacity=pool_pages,
+                          verify=verify_checksums)
         if file.meta_page < 0:
             raise StorageError(f"{path}: page file has no vdoc catalog")
+        if file.meta_page >= file.n_pages:
+            raise CorruptDataError(
+                f"{path}: catalog head page {file.meta_page} outside the "
+                f"file ({file.n_pages} pages)")
         meta_records = list(HeapFile(pool, file.meta_page).records())
         if not meta_records:
             raise StorageError(f"{path}: empty vdoc catalog")
-        meta = json.loads(meta_records[0].decode("utf-8"))
-        if meta.get("format") != VDOC_FORMAT:
-            raise StorageError(
-                f"{path}: unsupported vdoc format {meta.get('format')!r}")
+        try:
+            meta = json.loads(meta_records[0].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CorruptDataError(
+                f"{path}: vdoc catalog is not valid JSON ({exc})") from exc
+        _check_catalog(meta, path, file.n_pages)
 
         store = NodeStore()
         skel = HeapFile(pool, meta["skeleton"]["head"],
@@ -215,17 +325,28 @@ def open_vdoc(path: str, pool_pages: int | None = None) -> DiskVectorizedDocumen
             label, runs = _decode_node(record)
             if nid == 0:
                 if label != "#" or runs:
-                    raise StorageError(f"{path}: node 0 is not the text marker")
+                    raise CorruptDataError(
+                        f"{path}: node 0 is not the text marker")
                 continue
+            for child, count in runs:
+                if not 0 <= child < nid or count < 1:
+                    raise CorruptDataError(
+                        f"{path}: skeleton node {nid} has child run "
+                        f"({child}, {count}) outside the already-interned "
+                        f"prefix")
             interned = store.intern(label, runs)
             if interned != nid:
-                raise StorageError(
+                raise CorruptDataError(
                     f"{path}: skeleton records out of interning order "
                     f"(node {nid} interned as {interned})")
         if len(store) != meta["n_nodes"]:
-            raise StorageError(
+            raise CorruptDataError(
                 f"{path}: catalog says {meta['n_nodes']} skeleton nodes, "
                 f"file holds {len(store)}")
+        if not 1 <= meta["root"] < len(store):
+            raise CorruptDataError(
+                f"{path}: root id {meta['root']} outside the skeleton "
+                f"({len(store)} nodes)")
 
         vectors: dict[tuple, LazyVector] = {}
         for entry in meta["vectors"]:
@@ -234,5 +355,5 @@ def open_vdoc(path: str, pool_pages: int | None = None) -> DiskVectorizedDocumen
             vectors[vpath] = LazyVector(vpath, entry["n"], heap)
         return DiskVectorizedDocument(store, meta["root"], vectors, pool, file)
     except BaseException:
-        file.close()
+        file.abort()  # never write back to a file we failed to open
         raise

@@ -1,0 +1,154 @@
+"""``verify_vdoc`` / ``repro-xq check``: findings (not exceptions) with
+locations, exit codes, and the deep-is-a-superset-of-shallow contract."""
+
+import struct
+
+import pytest
+
+from repro.cli import main
+from repro.core.vdoc import VectorizedDocument
+from repro.datasets.synth import xmark_like_xml
+from repro.storage import PageFile
+from repro.storage.disk import FILE_HEADER, _header_bytes
+from repro.storage.fsck import verify_vdoc
+from repro.storage.pages import SlottedPage, stamp_crc
+
+PAGE_SIZE = 256
+
+
+@pytest.fixture()
+def vdoc_path(tmp_path):
+    xml = xmark_like_xml(8, seed=5)
+    path = str(tmp_path / "doc.vdoc")
+    VectorizedDocument.from_xml(xml).save(path, page_size=PAGE_SIZE)
+    return path
+
+
+def _patch_page(path, pid, mutate):
+    off = FILE_HEADER + pid * PAGE_SIZE
+    with open(path, "r+b") as f:
+        f.seek(off)
+        buf = bytearray(f.read(PAGE_SIZE))
+        mutate(buf)
+        stamp_crc(buf)
+        f.seek(off)
+        f.write(buf)
+
+
+def test_clean_file_has_no_findings(vdoc_path):
+    assert verify_vdoc(vdoc_path) == []
+    assert verify_vdoc(vdoc_path, deep=True) == []
+
+
+def test_flipped_page_named_in_finding(vdoc_path):
+    pid = 4
+    with open(vdoc_path, "r+b") as f:
+        f.seek(FILE_HEADER + pid * PAGE_SIZE + 30)
+        byte = f.read(1)[0]
+        f.seek(FILE_HEADER + pid * PAGE_SIZE + 30)
+        f.write(bytes([byte ^ 0x10]))
+    findings = verify_vdoc(vdoc_path)
+    assert any(f.code == "page-crc" and f.page == pid for f in findings)
+    # deep reports at least everything shallow reports
+    assert len(verify_vdoc(vdoc_path, deep=True)) >= len(findings)
+
+
+def test_truncation_is_a_size_finding(vdoc_path):
+    with open(vdoc_path, "r+b") as f:
+        f.seek(0, 2)
+        f.truncate(f.tell() - PAGE_SIZE // 2)
+    findings = verify_vdoc(vdoc_path)
+    assert any(f.code == "size" for f in findings)
+
+
+def test_chain_cycle_is_a_chain_finding(vdoc_path):
+    with PageFile.open(vdoc_path) as pf:
+        meta_page = pf.meta_page
+    # meta heap is a 1-page chain on this document; link it to itself
+    def cycle(buf):
+        SlottedPage(buf, PAGE_SIZE).next_page = meta_page
+    _patch_page(vdoc_path, meta_page, cycle)
+    findings = verify_vdoc(vdoc_path)
+    assert any(f.code in ("chain", "catalog") and "cycle" in f.message
+               for f in findings)
+
+
+def test_catalog_schema_break_is_a_catalog_finding(vdoc_path):
+    with PageFile.open(vdoc_path) as pf:
+        meta_page = pf.meta_page
+
+    def rename_key(buf):
+        page = SlottedPage(buf, PAGE_SIZE)
+        off, length, _ = page.slot_entry(0)
+        frag = bytes(buf[off:off + length])
+        assert b'"head":' in frag
+        buf[off:off + length] = frag.replace(b'"head":', b'"hexd":', 1)
+    _patch_page(vdoc_path, meta_page, rename_key)
+    findings = verify_vdoc(vdoc_path)
+    assert any(f.code == "catalog" and "head page" in f.message
+               for f in findings)
+
+
+def test_invalid_utf8_value_is_deep_only(vdoc_path):
+    """A non-UTF-8 byte inside a record (with a re-stamped checksum) is
+    structurally sound — only --deep decodes values and reports it."""
+    with VectorizedDocument.open(vdoc_path) as disk:
+        vpath = next(p for p in sorted(disk.vectors)
+                     if len(disk.vectors[p]) and disk.vectors[p].scan()[0])
+        pid = disk.vectors[vpath]._heap.head
+
+    def smash(buf):
+        off, _, _ = SlottedPage(buf, PAGE_SIZE).slot_entry(0)
+        buf[off] = 0xFF
+    _patch_page(vdoc_path, pid, smash)
+    assert verify_vdoc(vdoc_path) == []
+    deep = verify_vdoc(vdoc_path, deep=True)
+    assert any(f.code == "value" and "UTF-8" in f.message for f in deep)
+
+
+def test_orphan_page_is_deep_only(vdoc_path):
+    """A checksum-valid page outside every chain: shallow-clean, deep
+    reports it — the superset relation with a strictly deeper check."""
+    with open(vdoc_path, "r+b") as f:
+        header = f.read(FILE_HEADER)
+        _, page_size, n_pages, meta, _ = struct.unpack_from(
+            "<HIQqI", header, 8)
+        orphan = bytearray(PAGE_SIZE)
+        SlottedPage.init(orphan, PAGE_SIZE)
+        stamp_crc(orphan)
+        f.seek(0, 2)
+        f.write(orphan)
+        f.seek(0)
+        f.write(_header_bytes(page_size, n_pages + 1, meta))
+    assert verify_vdoc(vdoc_path) == []
+    deep = verify_vdoc(vdoc_path, deep=True)
+    assert any(f.code == "orphan" and f.page == n_pages for f in deep)
+
+
+# -- the CLI front end -----------------------------------------------------
+
+
+def test_cli_check_ok(vdoc_path, capsys):
+    assert main(["check", vdoc_path]) == 0
+    out = capsys.readouterr().out
+    assert "ok (shallow check, no findings)" in out
+    assert main(["check", vdoc_path, "--deep"]) == 0
+    assert "ok (deep check" in capsys.readouterr().out
+
+
+def test_cli_check_reports_findings_and_exits_nonzero(vdoc_path, capsys):
+    pid = 6
+    with open(vdoc_path, "r+b") as f:
+        f.seek(FILE_HEADER + pid * PAGE_SIZE + 40)
+        byte = f.read(1)[0]
+        f.seek(FILE_HEADER + pid * PAGE_SIZE + 40)
+        f.write(bytes([byte ^ 0x20]))
+    assert main(["check", vdoc_path]) == 1
+    captured = capsys.readouterr()
+    assert f"page-crc [page {pid}]" in captured.out
+    assert "integrity finding(s)" in captured.err
+
+
+def test_cli_check_missing_file(capsys):
+    assert main(["check", "/no/such/file.vdoc"]) == 1
+    assert capsys.readouterr().out.startswith("header")

@@ -1,0 +1,147 @@
+"""The headline integrity property, fuzz-checked: for ANY single-bit
+corruption of a valid .vdoc, every query either returns the exact
+uncorrupted answer or raises StorageError — it never hangs, never crashes
+with a non-Repro exception, and never returns a wrong answer.
+
+Each seed flips one random bit anywhere in the file (header included) in
+a fresh copy, then opens the document and runs an XPath and an XQ join to
+completion under a SIGALRM watchdog.  ``repro-xq check`` (shallow) must
+flag every single one of these corruptions, and ``--deep`` must report a
+superset of the shallow findings.
+"""
+
+import random
+import shutil
+import signal
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.engine import eval_query, eval_xq
+from repro.core.vdoc import VectorizedDocument
+from repro.datasets.synth import xmark_like_xml
+from repro.errors import StorageError
+from repro.storage.fsck import verify_vdoc
+
+N_SEEDS = 220
+PAGE_SIZE = 256
+XPATH = "/site/people/person/profile/age/text()"
+XQ_JOIN = (
+    "for $c in /site/closed_auctions/closed_auction, "
+    "$p in /site/people/person "
+    "where $c/buyer = $p/@id "
+    "return <pair>{$p/name}{$c/price}</pair>"
+)
+
+
+@contextmanager
+def watchdog(seconds):
+    """Fail the test (rather than hang forever) if the block stalls."""
+    def _timeout(signum, frame):
+        raise AssertionError(f"corrupted-file operation hung > {seconds}s")
+    old = signal.signal(signal.SIGALRM, _timeout)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    """A saved vdoc plus the uncorrupted answers of both query kinds."""
+    xml = xmark_like_xml(8, seed=23)
+    mem = VectorizedDocument.from_xml(xml)
+    path = str(tmp_path_factory.mktemp("fuzz") / "golden.vdoc")
+    mem.save(path, page_size=PAGE_SIZE)
+    xpath_base = eval_query(mem, XPATH).canonical()
+    xq_base = eval_xq(mem, XQ_JOIN).to_xml()
+    # sanity: the clean on-disk document reproduces both answers
+    with VectorizedDocument.open(path, pool_pages=8) as disk:
+        assert eval_query(disk, XPATH).canonical() == xpath_base
+    with VectorizedDocument.open(path, pool_pages=8) as disk:
+        assert eval_xq(disk, XQ_JOIN).to_xml() == xq_base
+    assert verify_vdoc(path) == []
+    return path, xpath_base, xq_base
+
+
+def _flip_bit(path, rng):
+    with open(path, "r+b") as f:
+        f.seek(0, 2)
+        size = f.tell()
+        off = rng.randrange(size)
+        f.seek(off)
+        byte = f.read(1)[0]
+        f.seek(off)
+        f.write(bytes([byte ^ (1 << rng.randrange(8))]))
+    return off
+
+
+def _query_outcomes(path, xpath_base, xq_base):
+    """Run both queries; returns how many raised StorageError.  Any other
+    exception propagates (and fails the test); a completed query must
+    return the exact baseline answer."""
+    raised = 0
+    try:
+        with VectorizedDocument.open(path, pool_pages=8) as disk:
+            assert eval_query(disk, XPATH).canonical() == xpath_base, \
+                "corrupted file returned a WRONG XPath answer"
+    except StorageError:
+        raised += 1
+    try:
+        with VectorizedDocument.open(path, pool_pages=8) as disk:
+            assert eval_xq(disk, XQ_JOIN).to_xml() == xq_base, \
+                "corrupted file returned a WRONG XQ answer"
+    except StorageError:
+        raised += 1
+    return raised
+
+
+def test_single_bitflip_fuzz(golden, tmp_path):
+    golden_path, xpath_base, xq_base = golden
+    work = str(tmp_path / "flipped.vdoc")
+    n_detected_by_query = 0
+    n_correct = 0
+    for seed in range(N_SEEDS):
+        rng = random.Random(seed)
+        shutil.copyfile(golden_path, work)
+        off = _flip_bit(work, rng)
+        with watchdog(30):
+            raised = _query_outcomes(work, xpath_base, xq_base)
+            if raised:
+                n_detected_by_query += 1
+            else:
+                n_correct += 1
+            # the offline verifier must flag EVERY corruption — shallow
+            findings = verify_vdoc(work)
+            assert findings, (
+                f"seed {seed}: flip at byte {off} invisible to fsck")
+            if seed % 20 == 0:  # deep is a superset of shallow
+                deep = verify_vdoc(work, deep=True)
+                assert len(deep) >= len(findings)
+    # the split is corruption-placement-dependent, but both outcomes must
+    # occur: some flips land in pages the queries read (→ StorageError),
+    # plenty land elsewhere (→ exact answer)
+    assert n_detected_by_query + n_correct == N_SEEDS
+    assert n_detected_by_query >= N_SEEDS // 10
+    assert n_correct >= N_SEEDS // 10
+
+
+def test_multi_byte_corruption_smash(golden, tmp_path):
+    """Heavier corruption: 64 random bytes overwritten — still only
+    correct-or-StorageError, still caught by fsck."""
+    golden_path, xpath_base, xq_base = golden
+    work = str(tmp_path / "smashed.vdoc")
+    for seed in range(10):
+        rng = random.Random(1000 + seed)
+        shutil.copyfile(golden_path, work)
+        with open(work, "r+b") as f:
+            f.seek(0, 2)
+            size = f.tell()
+            for _ in range(64):
+                f.seek(rng.randrange(size))
+                f.write(bytes([rng.randrange(256)]))
+        with watchdog(30):
+            _query_outcomes(work, xpath_base, xq_base)
+            assert verify_vdoc(work)
