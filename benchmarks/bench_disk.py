@@ -42,6 +42,7 @@ from repro import __version__  # noqa: E402
 from repro.core.engine import eval_query, eval_xq  # noqa: E402
 from repro.core.vdoc import VectorizedDocument  # noqa: E402
 from repro.datasets.synth import xmark_like_xml  # noqa: E402
+from repro.repo import Repository  # noqa: E402
 from repro.storage import open_vdoc  # noqa: E402
 from repro.util import Timer, fmt_table, human_count  # noqa: E402
 
@@ -69,6 +70,88 @@ def _run_both(vdoc) -> float:
 def _io_delta(pool, before: dict) -> dict:
     now = pool.stats.as_dict()
     return {k: now[k] - before[k] for k in before}
+
+
+#: shared-pool repository regime: member document sizes (people per doc)
+REPO_MEMBERS = (3, 7, 5)
+REPO_XQ = ("for $p in /site/people/person where $p/profile/age > '40' "
+           "return <r>{$p/name}{$p/profile/age}</r>")
+
+
+def run_repo_regime(sizes, pool_pages, page_size, tmpdir) -> tuple[list, list]:
+    """Multi-document repositories over one shared bounded pool: every
+    member is queried through the same frames, so the pool must evict
+    fairly across members and end with zero pins.  Results are checked
+    byte-identical to concatenated per-document in-memory evaluation."""
+    from repro.core.xquery.parser import parse_xq
+    from repro.xmldata.model import Element
+    from repro.xmldata.serializer import serialize
+
+    records, failures = [], []
+    xq = parse_xq(REPO_XQ)
+    print("\n== shared-pool repository (collection queries) ==")
+    for n_people in sizes:
+        rdir = os.path.join(tmpdir, f"repo_{n_people}")
+        repo = Repository.init(rdir, "bench")
+        kids = []
+        for i, scale in enumerate(REPO_MEMBERS):
+            n = max(1, n_people * scale // 10)
+            xml = xmark_like_xml(n, seed=100 + i)
+            src = os.path.join(tmpdir, f"m{i}_{n_people}.xml")
+            with open(src, "w", encoding="utf-8") as f:
+                f.write(xml)
+            repo.add(src, name=f"m{i}", page_size=page_size)
+            mem = VectorizedDocument.from_xml(xml)
+            kids.extend(eval_xq(mem, xq).vdoc.to_tree().children)
+        expected = serialize(Element(xq.root_tag, children=kids))
+        repo.close()
+
+        repo = Repository.open(rdir, pool_pages=pool_pages)
+        with Timer() as t_cold:
+            result = repo.xq(REPO_XQ)
+        if result.to_xml() != expected:
+            failures.append(f"repo n={n_people}: collection result diverges "
+                            f"from concatenated per-document evaluation")
+        stats = repo.io_stats()
+        file_pages = sum(
+            os.path.getsize(os.path.join(rdir, m["file"])) // page_size
+            for m in repo.manifest["members"])
+        with Timer() as t_warm:
+            repo.xq(REPO_XQ)
+        repo.close()
+
+        if stats["pinned"] != 0:
+            failures.append(f"repo n={n_people}: leaked pins pool-wide")
+        if stats["pool_resident"] > pool_pages:
+            failures.append(f"repo n={n_people}: pool overflowed capacity")
+        if stats["pool_pages_read"] > pool_pages \
+                and stats["pool_evictions"] == 0:
+            failures.append(f"repo n={n_people}: shared pool never evicted "
+                            f"({stats['pool_pages_read']} pages read "
+                            f"through {pool_pages} frames)")
+        members_read = [m for i in range(len(REPO_MEMBERS))
+                        for m in [f"m{i}.pages_read"] if stats.get(m, 0) > 0]
+        if len(members_read) != len(REPO_MEMBERS):
+            failures.append(f"repo n={n_people}: not every member did I/O "
+                            f"through the shared pool")
+        print(f"  n={n_people}: members={len(REPO_MEMBERS)} "
+              f"pages={file_pages} pool={pool_pages}"
+              f"  cold {t_cold.elapsed * 1e3:.2f}ms"
+              f"  warm {t_warm.elapsed * 1e3:.2f}ms"
+              f"  reads={stats['pool_pages_read']}"
+              f" evictions={stats['pool_evictions']}"
+              f" tuples={result.n_tuples}")
+        records.append({
+            "n_people": n_people,
+            "members": len(REPO_MEMBERS),
+            "file_pages": file_pages,
+            "pool_pages": pool_pages,
+            "t_cold_s": t_cold.elapsed,
+            "t_warm_s": t_warm.elapsed,
+            "result_tuples": result.n_tuples,
+            **{f"io_{k}": v for k, v in stats.items()},
+        })
+    return records, failures
 
 
 def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
@@ -175,6 +258,10 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
                 f"{overhead * 100:.1f}% on the cold path "
                 f"(budget {MAX_CRC_OVERHEAD * 100:.0f}%)")
 
+    repo_records, repo_failures = run_repo_regime(
+        sizes, pool_pages, page_size, tmpdir)
+    failures.extend(repo_failures)
+
     headers = ["people", "regime", "time (ms)", "reads", "hits", "evict"]
     rows = [[human_count(r["n_people"]), r["regime"], f"{r['t_s'] * 1e3:.2f}",
              r["io_pages_read"], r["io_hits"], r["io_evictions"]]
@@ -189,6 +276,11 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
         "pool_pages": pool_pages,
         "queries": {"xpath": XPATH, "xq": XQ},
         "records": records,
+        "repo_regime": {
+            "members": list(REPO_MEMBERS),
+            "xq": REPO_XQ,
+            "records": repo_records,
+        },
         "checksum_overhead": {str(n): round(v, 4)
                               for n, v in overheads.items()},
         "max_crc_overhead": MAX_CRC_OVERHEAD,

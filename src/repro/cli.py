@@ -8,13 +8,21 @@ Subcommands::
     repro-xq reconstruct FILE [--pool N]     vectorize then decompress back
     repro-xq save FILE OUT [--page-size B]   write the on-disk vdoc format
     repro-xq open FILE [--pool N]            print a saved vdoc's catalog
-    repro-xq check FILE [--deep]             verify a .vdoc's integrity
+    repro-xq check TARGET [--deep]           verify a .vdoc or a repository
     repro-xq gen N [--seed S]                synthetic XMark-like document
+    repro-xq repo init DIR --name NAME       create an empty repository
+    repro-xq repo add DIR FILE [--name N]    add an XML or .vdoc member
+    repro-xq repo ls DIR                     members + path catalog summary
+    repro-xq repo query DIR QUERY [--pool N] [--io-stats] [--per-combo]
 
 ``FILE`` may be XML text or a saved ``.vdoc`` page file (sniffed by
 magic); vdoc inputs are opened disk-backed through a buffer pool of
-``--pool`` pages (default unbounded) and ``--io-stats`` reports the
-pool's physical I/O counters on stderr after a query.
+``--pool`` pages (default unbounded) and ``--io-stats`` reports per-
+document and pool-wide physical I/O counters on stderr after a query —
+also when the query fails, so a corrupted run still shows what it read.
+
+``repo query`` evaluates over every member of a repository through one
+shared buffer pool; XQ queries may source from ``collection("name")``.
 
 ``query`` dispatches on the query text: a leading ``/`` is an XPath of
 P[*,//]; anything else is an XQ FLWR expression (``for .. where ..
@@ -60,6 +68,51 @@ def _print_io_stats(vdoc: VectorizedDocument) -> None:
     stats = vdoc.io_stats()
     print("io: " + "  ".join(f"{k}={v}" for k, v in stats.items()),
           file=sys.stderr)
+
+
+def _print_repo_io_stats(repo) -> None:
+    stats = repo.io_stats()
+    print("io: " + "  ".join(f"{k}={v}" for k, v in stats.items()),
+          file=sys.stderr)
+
+
+def _repo_cmd(args) -> int:
+    from .repo import Repository
+
+    if args.repo_cmd == "init":
+        repo = Repository.init(args.dir, args.name)
+        print(f"{args.dir}: empty repository {repo.name!r}")
+    elif args.repo_cmd == "add":
+        with Repository.open(args.dir) as repo:
+            name = repo.add(args.file, name=args.name,
+                            page_size=args.page_size)
+            entry = repo._entry(name)
+            print(f"added {name!r} ({entry['file']}, "
+                  f"{len(entry['paths'])} catalog paths)")
+    elif args.repo_cmd == "ls":
+        with Repository.open(args.dir) as repo:
+            print(f"repository {repo.name!r}: "
+                  f"{len(repo.members())} member(s)")
+            for m in repo.manifest["members"]:
+                values = sum(c for p, c in m["paths"]
+                             if p and p[-1] == "#")
+                print(f"  {m['name']:20} {m['file']:24} "
+                      f"paths={len(m['paths'])} values={values}")
+    else:
+        assert args.repo_cmd == "query"
+        with Repository.open(args.dir, pool_pages=args.pool) as repo:
+            try:
+                text = args.query.lstrip()
+                if text.startswith("/"):
+                    for name, res in repo.xpath(text):
+                        print(f"{name}: count {res.count()}")
+                else:
+                    result = repo.xq(text, batched=not args.per_combo)
+                    print(result.to_xml())
+            finally:
+                if args.io_stats:
+                    _print_repo_io_stats(repo)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -116,9 +169,11 @@ def main(argv: list[str] | None = None) -> int:
     p_open.add_argument("--pool", type=int, default=None, help=pool_help)
 
     p_check = sub.add_parser("check",
-                             help="verify a .vdoc page file: header, page "
+                             help="verify a .vdoc page file (header, page "
                                   "checksums, heap chains, catalog cross-"
-                                  "checks; exits nonzero on any finding")
+                                  "checks) or a repository directory "
+                                  "(manifest, members, path catalog); "
+                                  "exits nonzero on any finding")
     p_check.add_argument("file")
     p_check.add_argument("--deep", action="store_true",
                          help="additionally UTF-8-decode every value and "
@@ -128,6 +183,44 @@ def main(argv: list[str] | None = None) -> int:
     p_gen.add_argument("n_people", type=int)
     p_gen.add_argument("--seed", type=int, default=0)
 
+    p_repo = sub.add_parser("repo", help="multi-document repositories")
+    rsub = p_repo.add_subparsers(dest="repo_cmd", required=True)
+
+    r_init = rsub.add_parser("init", help="create an empty repository")
+    r_init.add_argument("dir")
+    r_init.add_argument("--name", required=True,
+                        help="collection name (what collection(...) "
+                             "queries reference)")
+
+    r_add = rsub.add_parser("add", help="add an XML or .vdoc document")
+    r_add.add_argument("dir")
+    r_add.add_argument("file")
+    r_add.add_argument("--name", default=None,
+                       help="member name (default: the file's stem)")
+    r_add.add_argument("--page-size", type=int, default=None,
+                       help="page size for XML inputs (default 4096)")
+
+    r_ls = rsub.add_parser("ls", help="list members and catalog summary")
+    r_ls.add_argument("dir")
+
+    r_query = rsub.add_parser("query",
+                              help="evaluate a query over every member "
+                                   "through one shared buffer pool")
+    r_query.add_argument("dir")
+    r_query.add_argument("query",
+                         help="an XQ FLWR expression (may source from "
+                              "collection('name')) or an XPath (starts "
+                              "with '/'; evaluated per member)")
+    r_query.add_argument("--pool", type=int, default=None,
+                         help="shared buffer pool size in pages "
+                              "(default: unbounded)")
+    r_query.add_argument("--io-stats", action="store_true",
+                         help="print per-member and pool-wide I/O "
+                              "counters on stderr, even on failure")
+    r_query.add_argument("--per-combo", action="store_true",
+                         help="use the per-combo baseline executor "
+                              "instead of batched execution")
+
     args = ap.parse_args(argv)
     try:
         if args.cmd == "stats":
@@ -136,33 +229,38 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{k:16} {v}")
         elif args.cmd == "query":
             text = args.xpath.lstrip()
-            if text.startswith("/"):
-                if args.plan:
-                    return _usage_error(
-                        "--plan is only valid for XQ queries, not XPath")
-                vdoc = _load(args.file, args.pool)
-                result = eval_query(vdoc, text, mode=args.mode)
-                print(f"count {result.count()}")
-                if args.values:
-                    for v in result.text_values():
-                        print(v)
-                if args.canonical:
-                    for item in result.canonical():
-                        print(item)
-            else:
+            is_xpath = text.startswith("/")
+            if is_xpath and args.plan:
+                return _usage_error(
+                    "--plan is only valid for XQ queries, not XPath")
+            if not is_xpath:
                 for flag, on in (("--values", args.values),
                                  ("--canonical", args.canonical)):
                     if on:
                         return _usage_error(
                             f"{flag} is only valid for XPath queries, "
                             f"not XQ")
-                vdoc = _load(args.file, args.pool)
-                result = eval_xq(vdoc, text, mode=args.mode)
-                if args.plan and isinstance(result, XQVXResult):
-                    print(result.plan.explain(), file=sys.stderr)
-                print(result.to_xml())
-            if args.io_stats:
-                _print_io_stats(vdoc)
+            vdoc = _load(args.file, args.pool)
+            try:
+                if is_xpath:
+                    result = eval_query(vdoc, text, mode=args.mode)
+                    print(f"count {result.count()}")
+                    if args.values:
+                        for v in result.text_values():
+                            print(v)
+                    if args.canonical:
+                        for item in result.canonical():
+                            print(item)
+                else:
+                    result = eval_xq(vdoc, text, mode=args.mode)
+                    if args.plan and isinstance(result, XQVXResult):
+                        print(result.plan.explain(), file=sys.stderr)
+                    print(result.to_xml())
+            finally:
+                # stats even when the query errors: a failed run still
+                # shows what it read before failing
+                if args.io_stats:
+                    _print_io_stats(vdoc)
         elif args.cmd == "reconstruct":
             sys.stdout.write(_load(args.file, args.pool).to_xml())
         elif args.cmd == "save":
@@ -182,9 +280,12 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{'vector_pages':16} "
                       f"{sum(v.n_pages for v in vdoc.vectors.values())}")
         elif args.cmd == "check":
-            from .storage.fsck import verify_vdoc
+            if os.path.isdir(args.file):
+                from .repo import verify_repository as _verify
+            else:
+                from .storage.fsck import verify_vdoc as _verify
 
-            findings = verify_vdoc(args.file, deep=args.deep)
+            findings = _verify(args.file, deep=args.deep)
             for finding in findings:
                 print(finding)
             if findings:
@@ -198,6 +299,8 @@ def main(argv: list[str] | None = None) -> int:
                 print("repro-xq: error: N must be >= 0", file=sys.stderr)
                 return 1
             sys.stdout.write(xmark_like_xml(args.n_people, seed=args.seed))
+        elif args.cmd == "repo":
+            return _repo_cmd(args)
     except BrokenPipeError:
         # downstream consumer (head, etc.) closed the pipe — not an error
         devnull = os.open(os.devnull, os.O_WRONLY)

@@ -49,11 +49,16 @@ def _template_leaves(gr: ResultSkeleton) -> list[tuple]:
     return leaves
 
 
-def build_result(vdoc, gr: ResultSkeleton,
-                 table: ReducedTable) -> VectorizedDocument:
-    """Instantiate the result skeleton once per binding tuple."""
+def build_result(vdoc, gr: ResultSkeleton, table: ReducedTable,
+                 ctx=None) -> VectorizedDocument:
+    """Instantiate the result skeleton once per binding tuple.
+
+    ``ctx`` (an :class:`~repro.core.context.EvalContext`) shares the
+    query's per-document vector cache, so value copies here and scans in
+    the reduction count against the same scan-once budget."""
     store = vdoc.store
     catalog = vdoc.catalog
+    cache = ctx.cache(vdoc) if ctx is not None else None
     guide = catalog.dataguide()
     leaves = _template_leaves(gr)
     n_rows = table.n_rows
@@ -62,81 +67,113 @@ def build_result(vdoc, gr: ResultSkeleton,
     row_children: list[list[int]] = [[] for _ in range(n_rows)]
     # output vector parts: path -> [(values, global rows, leaf idx, seq)]
     acc: dict[tuple, list] = {}
+    # text paths below a spliced path, computed once per distinct path —
+    # the dataguide scan must not repeat per combo
+    rels_of: dict[tuple, list[tuple]] = {}
 
-    for combo in table.combos:
-        n = len(combo)
-        if n == 0:
-            continue
-        rowsg = combo.rows_global
-        # resolve each splice leaf to (spliced node ids, per-row offsets)
-        splices: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        for li, (kind, item, opath) in enumerate(leaves):
-            if kind == "text":
-                acc.setdefault((*opath, "#"), []).append((
-                    np.full(n, item.value), rowsg,
-                    np.zeros(n, dtype=np.int64) + li,
-                    np.zeros(n, dtype=np.int64)))
-                continue
-            cp = combo.var_paths[item.var]
-            col = combo.cols[item.var]
-            if item.rel:
-                scp = (*cp, *item.rel)
-                if cp[-1] == "#" or catalog.index(scp) is None:
-                    splices[li] = (np.empty(0, dtype=np.int64),
-                                   np.zeros(n + 1, dtype=np.int64))
-                    continue
-                starts, lengths = catalog.extension_ranges(cp, col, item.rel)
-                ords = ranges_to_ordinals(starts, lengths)
-            else:
-                scp = cp
-                ords = col
-                lengths = np.ones(n, dtype=np.int64)
-            pidx = catalog.index(scp)
-            node_ids = pidx.run_nodes[pidx.run_of(ords)]
-            offsets = np.concatenate(
-                (np.zeros(1, dtype=np.int64), np.cumsum(lengths)))
-            splices[li] = (node_ids, offsets)
-
-            # copy every text path below the spliced nodes into the output
-            k = len(scp)
+    def text_rels(scp: tuple) -> list[tuple]:
+        rels = rels_of.get(scp)
+        if rels is None:
             if scp[-1] == "#":
-                rels: list[tuple] = [()]
+                rels = [()]
             else:
+                k = len(scp)
                 rels = sorted(g[k:] for g in guide
                               if len(g) > k and g[:k] == scp
                               and g[-1] == "#")
-            row_of_ord = np.repeat(np.arange(n, dtype=np.int64), lengths)
-            for rt in rels:
+            rels_of[scp] = rels
+        return rels
+
+    combos = [c for c in table.combos if len(c)]
+
+    # resolve each splice leaf to (node ids sorted by global row, per-row
+    # offsets), processing combos GROUPED BY CONCRETE PATH — one position-
+    # algebra call per distinct path, not one per combo, mirroring the
+    # batched reduction (global row ids are disjoint across combos, so
+    # per-group results scatter straight into global arrays)
+    splices: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for li, (kind, item, opath) in enumerate(leaves):
+        if kind == "text":
+            acc.setdefault((*opath, "#"), []).append((
+                np.full(n_rows, item.value),
+                np.arange(n_rows, dtype=np.int64),
+                np.zeros(n_rows, dtype=np.int64) + li,
+                np.zeros(n_rows, dtype=np.int64)))
+            continue
+        groups: dict[tuple, list] = {}
+        for combo in combos:
+            groups.setdefault(combo.var_paths[item.var], []).append(combo)
+        ids_parts: list[np.ndarray] = []
+        rows_parts: list[np.ndarray] = []
+        lengths_row = np.zeros(n_rows, dtype=np.int64)
+        for cp, group in groups.items():
+            cols_g = np.concatenate([c.cols[item.var] for c in group])
+            rowsg = np.concatenate([c.rows_global for c in group])
+            if item.rel:
+                scp = (*cp, *item.rel)
+                if cp[-1] == "#" or catalog.index(scp) is None:
+                    continue
+                starts, lengths = catalog.extension_ranges(
+                    cp, cols_g, item.rel)
+                ords = ranges_to_ordinals(starts, lengths)
+            else:
+                scp = cp
+                ords = cols_g
+                lengths = np.ones(len(cols_g), dtype=np.int64)
+            pidx = catalog.index(scp)
+            node_ids = pidx.run_nodes[pidx.run_of(ords)]
+            ids_parts.append(node_ids)
+            rows_parts.append(np.repeat(rowsg, lengths))
+            lengths_row[rowsg] = lengths
+
+            # copy every text path below the spliced nodes into the output
+            row_of_ord = np.repeat(
+                np.arange(len(cols_g), dtype=np.int64), lengths)
+            for rt in text_rels(scp):
                 st, lt = catalog.extension_ranges(scp, ords, rt)
                 ot = ranges_to_ordinals(st, lt)
                 if len(ot) == 0:
                     continue
-                vals = vdoc.vectors[(*scp, *rt)].gather(ot)
+                if cache is not None:
+                    vals = cache.column((*scp, *rt))[ot]
+                else:
+                    vals = vdoc.vectors[(*scp, *rt)].gather(ot)
                 acc.setdefault((*opath, scp[-1], *rt), []).append((
                     vals, rowsg[np.repeat(row_of_ord, lt)],
                     np.zeros(len(ot), dtype=np.int64) + li,
                     np.arange(len(ot), dtype=np.int64)))
 
-        # assemble the skeleton bottom-up, one row at a time: fresh template
-        # elements are interned immediately — stepwise compression
-        def instantiate(item, r: int, counter: list[int]) -> list[int]:
-            if isinstance(item, TText):
-                counter[0] += 1
-                return [store.text_id]
-            if isinstance(item, TSplice):
-                li = counter[0]
-                counter[0] += 1
-                ids, offs = splices[li]
-                return [int(x) for x in ids[offs[r]:offs[r + 1]]]
-            kids = [cid for c in item.children
-                    for cid in instantiate(c, r, counter)]
-            return [store.intern_list(item.tag, kids)]
+        if ids_parts:
+            ids_all = np.concatenate(ids_parts)
+            rows_all = np.concatenate(rows_parts)
+            # stable by-row sort keeps each row's ids in document order
+            # (every row's ids come from exactly one group)
+            ids_all = ids_all[np.argsort(rows_all, kind="stable")]
+        else:
+            ids_all = np.empty(0, dtype=np.int64)
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(lengths_row)))
+        splices[li] = (ids_all, offsets)
 
-        for r in range(n):
-            counter = [0]
-            kids = [cid for item in gr.items
-                    for cid in instantiate(item, r, counter)]
-            row_children[int(rowsg[r])] = kids
+    # assemble the skeleton bottom-up, one row at a time: fresh template
+    # elements are interned immediately — stepwise compression
+    def instantiate(item, r: int, counter: list[int]) -> list[int]:
+        if isinstance(item, TText):
+            counter[0] += 1
+            return [store.text_id]
+        if isinstance(item, TSplice):
+            li = counter[0]
+            counter[0] += 1
+            ids, offs = splices[li]
+            return [int(x) for x in ids[offs[r]:offs[r + 1]]]
+        kids = [cid for c in item.children
+                for cid in instantiate(c, r, counter)]
+        return [store.intern_list(item.tag, kids)]
+
+    for r in range(n_rows):
+        counter = [0]
+        row_children[r] = [cid for item in gr.items
+                           for cid in instantiate(item, r, counter)]
 
     root_id = store.intern_list(
         gr.root_tag, [cid for kids in row_children for cid in kids])

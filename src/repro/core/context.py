@@ -1,0 +1,188 @@
+"""Shared evaluation context: the one object threaded through the stack.
+
+Before this module, every layer of a query evaluation wired its own state:
+the engine reset scan counters on the document, built a
+:class:`VectorCache`, passed it to the reduction, which passed it to the
+XPath evaluator, and each of them reached for ``vdoc.pool`` separately to
+check pin accounting.  An :class:`EvalContext` bundles all of it — the
+documents in scope (one for a plain query, every member for a repository
+query), one vector cache per document, the per-query pass counters behind
+the batched-execution invariant, and the engine's guards — so a single
+object flows through ``engine`` → ``reduction`` → ``builder`` → the XPath
+evaluators, and the invariants are checked in one place, pool-wide.
+
+Invariants enforced here (all machine checks, not comments):
+
+* **no decompression** — :meth:`EvalContext.guard` wraps the evaluation in
+  :func:`~repro.core.reconstruct.forbid_decompression`;
+* **scan-at-most-once** — after the query, no touched vector may have been
+  scanned more than once, logically (``scan_count``) or physically (pages
+  read within the query window bounded by one full chain pass);
+* **one pass per plan operation** — batched combo execution promises each
+  data vector is swept at most once per plan *operation* across all
+  concrete-path combos; full-column kernel sweeps register through
+  :meth:`note_pass` and are asserted ``<= 1`` per ``(operation, vector)``
+  (the per-combo baseline keeps counting but skips the assertion — that
+  contrast is what the batched benchmark regime measures);
+* **zero leaked pins** — after the query (successful or not), every buffer
+  pool reachable from the documents has ``pinned_total() == 0``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..errors import EngineInvariantError
+from .reconstruct import forbid_decompression
+from .vectors import Vector
+
+
+class VectorCache:
+    """Per-query lazy vector loads; guarantees one scan per touched vector.
+
+    Shared across every operation of a query — including all operations of
+    an XQ graph reduction — so the engine's scan-at-most-once invariant
+    holds for whole multi-operation queries, not just single paths."""
+
+    def __init__(self, vectors: dict[tuple, Vector]):
+        self._vectors = vectors
+        self._loaded: dict[tuple, np.ndarray] = {}
+
+    def column(self, path: tuple) -> np.ndarray:
+        col = self._loaded.get(path)
+        if col is None:
+            col = self._vectors[path].scan()
+            self._loaded[path] = col
+        return col
+
+    def floats(self, path: tuple) -> np.ndarray:
+        self.column(path)  # ensure the load is accounted for
+        return self._vectors[path].floats()
+
+
+class EvalContext:
+    """Evaluation state for one query (or one repository query).
+
+    ``strict_passes`` arms the once-per-plan-operation assertion; the
+    per-combo baseline evaluates with it off (it violates the invariant by
+    construction — that is the regression the batched executor fixes).
+    """
+
+    def __init__(self, docs=(), strict_passes: bool = True):
+        self.docs: list = list(docs)
+        self.strict_passes = strict_passes
+        self._caches: dict[int, VectorCache] = {}
+        self._passes: dict[tuple, int] = {}
+
+    @classmethod
+    def for_doc(cls, vdoc, strict_passes: bool = True) -> "EvalContext":
+        return cls([vdoc], strict_passes=strict_passes)
+
+    def add(self, vdoc) -> None:
+        """Bring another document into scope (repository members join the
+        context lazily, as they are opened)."""
+        if not any(d is vdoc for d in self.docs):
+            self.docs.append(vdoc)
+
+    def cache(self, vdoc) -> VectorCache:
+        """The per-document vector cache (created on first use)."""
+        c = self._caches.get(id(vdoc))
+        if c is None:
+            c = VectorCache(vdoc.vectors)
+            self._caches[id(vdoc)] = c
+        return c
+
+    def pools(self) -> list:
+        """Every distinct buffer pool reachable from the documents."""
+        seen: set[int] = set()
+        out = []
+        for d in self.docs:
+            pool = getattr(d, "pool", None)
+            if pool is not None and id(pool) not in seen:
+                seen.add(id(pool))
+                out.append(pool)
+        return out
+
+    # -- per-query windows -------------------------------------------------
+
+    def begin(self, vdoc) -> None:
+        """Open a fresh accounting window for a query over ``vdoc``: zero
+        its scan counters, drop its cached columns, reset pass counts."""
+        self.add(vdoc)
+        vdoc.reset_scan_counts()
+        self._caches.pop(id(vdoc), None)
+        self._passes = {k: v for k, v in self._passes.items()
+                        if k[0] != id(vdoc)}
+
+    def note_pass(self, vdoc, key: tuple) -> None:
+        """Record one full-column kernel sweep attributed to ``key``
+        (an ``(operation, vector path)`` pair from the reduction)."""
+        full = (id(vdoc), *key)
+        self._passes[full] = self._passes.get(full, 0) + 1
+
+    def pass_counts(self) -> dict[tuple, int]:
+        return dict(self._passes)
+
+    # -- invariant checks ----------------------------------------------------
+
+    def check_pins(self) -> None:
+        """Zero leaked buffer-pool pins, pool-wide — asserted even when a
+        query fails, so corrupt on-disk data surfaces as a StorageError
+        with the pool intact and reusable, not as a poisoned pool."""
+        for pool in self.pools():
+            pinned = pool.pinned_total()
+            if pinned:
+                raise EngineInvariantError(
+                    f"{pinned} buffer-pool page pin(s) leaked by the query"
+                )
+
+    def check_passes(self) -> None:
+        if not self.strict_passes:
+            return
+        over = [k for k, v in self._passes.items() if v > 1]
+        if over:
+            detail = ", ".join(
+                f"{'/'.join(k[-1])} in op {k[1:-1]} x{self._passes[k]}"
+                for k in over)
+            raise EngineInvariantError(
+                "data vectors swept more than once per plan operation: "
+                + detail)
+
+    def check(self, vdoc) -> None:
+        """Post-query assertions for ``vdoc``: scan-once (logical and
+        physical), once-per-operation passes, and zero pins pool-wide."""
+        over = [p for p, v in vdoc.vectors.items() if v.scan_count > 1]
+        if over:
+            raise EngineInvariantError(
+                "vectors scanned more than once in one query: "
+                + ", ".join("/".join(p) for p in over)
+            )
+        # Disk-backed documents: the in-memory counter is additionally
+        # checked against *physical* I/O — within the query window no
+        # vector may read more pages than one full pass over its chain.
+        over_io = [
+            p for p, v in vdoc.vectors.items()
+            if v.pages_read_in_window() > v.n_pages
+        ]
+        if over_io:
+            raise EngineInvariantError(
+                "vectors read more pages than one full chain pass: "
+                + ", ".join("/".join(p) for p in over_io)
+            )
+        self.check_passes()
+        self.check_pins()
+
+    @contextmanager
+    def guard(self, vdoc):
+        """The engine's evaluation envelope: fresh accounting window, no
+        decompression inside, pin check on failure, full check on success."""
+        self.begin(vdoc)
+        try:
+            with forbid_decompression():
+                yield self
+        except BaseException:
+            self.check_pins()  # a failed query must not leak pins either
+            raise
+        self.check(vdoc)

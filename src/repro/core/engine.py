@@ -1,13 +1,22 @@
 """Top-level query engine: dispatch between the vectorized evaluator and
 the naive decompress-evaluate baseline, enforcing the paper's invariants.
 
-``mode="vx"`` (the default) evaluates directly over (skeleton, vectors):
+``mode="vx"`` (the default) evaluates directly over (skeleton, vectors)
+inside an :class:`~repro.core.context.EvalContext` guard:
 
 * the whole evaluation runs inside :func:`forbid_decompression`, so any
   skeleton decompression raises — "querying without decompression" is
   machine-checked on every query;
-* after evaluation the engine asserts every touched data vector was
-  scanned at most once ("each data vector is scanned at most once").
+* after evaluation the context asserts every touched data vector was
+  scanned at most once ("each data vector is scanned at most once"),
+  logically and against physical page I/O, with zero leaked pins
+  pool-wide;
+* XQ runs the reduction plan *batched* by default — one plan execution
+  over the whole concrete-path combo table — and the context additionally
+  asserts at most one full-column sweep per plan operation per vector.
+  ``batched=False`` selects the per-combo baseline executor (benchmarks
+  only; the sweep assertion is disarmed because the baseline violates it
+  by construction).
 
 ``mode="naive"`` is the baseline the paper argues against: reconstruct the
 full document tree (linear in |T|, counted by the decompression hook), then
@@ -16,58 +25,23 @@ walk it node at a time.
 
 from __future__ import annotations
 
-from ..errors import EngineInvariantError
 from ..xmldata.serializer import serialize
 from .builder import build_result
+from .context import EvalContext
 from .planner import plan_query
 from .qgraph import compile_query
-from .reconstruct import forbid_decompression, reconstruct
+from .reconstruct import reconstruct
 from .reduction import reduce_query
 from .vdoc import VectorizedDocument
 from .xpath.ast import Path
 from .xpath.parser import parse_xpath
 from .xpath.tree_eval import canonical_item, evaluate_tree
-from .xpath.vx_eval import VectorCache, VXResult, evaluate_vx
+from .xpath.vx_eval import VXResult, evaluate_vx
 from .xquery.ast import XQuery
 from .xquery.naive import evaluate_xq_tree
 from .xquery.parser import parse_xq
 
 MODES = ("vx", "naive")
-
-
-def _check_no_pins(vdoc: VectorizedDocument) -> None:
-    """Zero leaked buffer-pool pins — asserted even when a query fails,
-    so corrupt on-disk data surfaces as a StorageError with the pool
-    intact and reusable, not as a poisoned pool."""
-    pool = getattr(vdoc, "pool", None)
-    if pool is not None:
-        pinned = pool.pinned_total()
-        if pinned:
-            raise EngineInvariantError(
-                f"{pinned} buffer-pool page pin(s) leaked by the query"
-            )
-
-
-def _check_scan_once(vdoc: VectorizedDocument) -> None:
-    over = [p for p, v in vdoc.vectors.items() if v.scan_count > 1]
-    if over:
-        raise EngineInvariantError(
-            "vectors scanned more than once in one query: "
-            + ", ".join("/".join(p) for p in over)
-        )
-    # Disk-backed documents: the in-memory counter is additionally checked
-    # against *physical* I/O — within the query window no vector may read
-    # more pages than one full pass over its on-disk chain.
-    over_io = [
-        p for p, v in vdoc.vectors.items()
-        if v.pages_read_in_window() > v.n_pages
-    ]
-    if over_io:
-        raise EngineInvariantError(
-            "vectors read more pages than one full chain pass: "
-            + ", ".join("/".join(p) for p in over_io)
-        )
-    _check_no_pins(vdoc)
 
 
 class TreeResult:
@@ -92,7 +66,8 @@ class TreeResult:
         return [canonical_item(n) for n in self.nodes]
 
 
-def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx"):
+def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx",
+               ctx: EvalContext | None = None):
     """Evaluate ``query`` (an XPath string or parsed :class:`Path`)."""
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -102,14 +77,10 @@ def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx"):
         tree = reconstruct(vdoc.store, vdoc.root, vdoc.vectors)
         return TreeResult(tree, evaluate_tree(tree, path))
 
-    vdoc.reset_scan_counts()
-    try:
-        with forbid_decompression():
-            result: VXResult = evaluate_vx(vdoc, path)
-    except BaseException:
-        _check_no_pins(vdoc)  # a failed query must not leak pins either
-        raise
-    _check_scan_once(vdoc)
+    if ctx is None:
+        ctx = EvalContext.for_doc(vdoc)
+    with ctx.guard(vdoc):
+        result: VXResult = evaluate_vx(vdoc, path, ctx)
     return result
 
 
@@ -138,13 +109,15 @@ class XQVXResult:
         return self.vdoc.to_xml()
 
 
-def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx"):
+def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx",
+            batched: bool = True, ctx: EvalContext | None = None):
     """Evaluate an XQ query (string or parsed :class:`XQuery`).
 
     ``vx`` compiles to (Gq, Gr), plans, reduces over extended vectors and
-    constructs the result — all inside :func:`forbid_decompression` and
-    under the scan-at-most-once assertion.  ``naive`` reconstructs the
-    tree and runs the nested-loop reference evaluator.
+    constructs the result — all inside the context guard (no
+    decompression, scan-at-most-once, zero leaked pins; batched mode adds
+    the one-sweep-per-plan-operation assertion).  ``naive`` reconstructs
+    the tree and runs the nested-loop reference evaluator.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -156,15 +129,12 @@ def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx"):
         out = evaluate_xq_tree(tree, xq)
         return XQTreeResult(out)
 
-    vdoc.reset_scan_counts()
-    try:
-        with forbid_decompression():
-            plan = plan_query(gq, vdoc)
-            cache = VectorCache(vdoc.vectors)
-            table = reduce_query(vdoc, gq, plan, cache)
-            out = build_result(vdoc, gr, table)
-    except BaseException:
-        _check_no_pins(vdoc)  # a failed query must not leak pins either
-        raise
-    _check_scan_once(vdoc)
+    if ctx is None:
+        ctx = EvalContext.for_doc(vdoc, strict_passes=batched)
+    else:
+        ctx.strict_passes = batched
+    with ctx.guard(vdoc):
+        plan = plan_query(gq, vdoc)
+        table = reduce_query(vdoc, gq, plan, ctx, batched=batched)
+        out = build_result(vdoc, gr, table, ctx)
     return XQVXResult(out, plan, table)

@@ -19,7 +19,7 @@ statistics and reused for every concrete-path combination.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .qgraph import ConstEdge, EqEdge, QueryGraph, TreeEdge
 from .xpath.vx_eval import _alignments
@@ -38,6 +38,9 @@ class PlanOp:
 @dataclass
 class Plan:
     ops: list[PlanOp]
+    #: variable -> candidate concrete label paths (dataguide matches),
+    #: computed once here and reused by combo enumeration in the reduction
+    var_paths: dict[str, list[tuple]] = field(default_factory=dict)
 
     def explain(self) -> str:
         return "\n".join(f"{i + 1}. {op}" for i, op in enumerate(self.ops))
@@ -62,7 +65,8 @@ def _var_paths(gq: QueryGraph, vdoc) -> dict[str, list[tuple]]:
                     if len(g) > k and g[:k] == base and \
                             _alignments(edge.steps, g[k:]):
                         matches.append(g)
-            out[var] = matches
+            # distinct paths (several bases may reach the same guide entry)
+            out[var] = list(dict.fromkeys(matches))
     return out
 
 
@@ -149,4 +153,4 @@ def plan_query(gq: QueryGraph, vdoc) -> Plan:
         flush_filters()
 
     assert not pending_sel and not pending_join
-    return Plan(ops)
+    return Plan(ops, var_paths)

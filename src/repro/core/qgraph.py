@@ -85,12 +85,18 @@ class EqEdge:
 
 @dataclass
 class QueryGraph:
-    """``Gq``: variables in declaration order plus the three edge kinds."""
+    """``Gq``: variables in declaration order plus the three edge kinds.
+
+    ``collection`` is the repository collection every root variable ranges
+    over (``None`` for single-document queries); the compiler rejects
+    mixed-collection queries, so the repository layer can evaluate ``Gq``
+    member by member."""
 
     variables: list[str] = field(default_factory=list)
     tree_edges: dict[str, TreeEdge] = field(default_factory=dict)
     selections: list[ConstEdge] = field(default_factory=list)
     joins: list[EqEdge] = field(default_factory=list)
+    collection: str | None = None
 
     def children_of(self, var: str) -> list[str]:
         return [v for v in self.variables
@@ -121,6 +127,13 @@ def compile_query(xq: XQuery) -> tuple[QueryGraph, ResultSkeleton]:
         if b.var in gq.tree_edges:
             raise XQCompileError(f"duplicate variable ${b.var}")
         if isinstance(b.source, AbsSource):
+            if b.source.collection is not None:
+                if gq.collection not in (None, b.source.collection):
+                    raise XQCompileError(
+                        f"for ${b.var}: a query may range over at most one "
+                        f"collection ({gq.collection!r} vs "
+                        f"{b.source.collection!r})")
+                gq.collection = b.source.collection
             edge = TreeEdge(b.var, None, (), b.source.path)
         else:
             if b.source.var not in gq.tree_edges:

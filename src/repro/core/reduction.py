@@ -6,25 +6,36 @@ variable, all of equal length; a row is one candidate binding tuple.  The
 planner's operations reduce ``Gq`` edge by edge:
 
 * **instantiate** (tree edge) — root variables come from one vectorized
-  XPath evaluation (shared :class:`VectorCache`); relative variables are a
-  positional join: ``extension_ranges`` + prefix-sum materialization, with
-  the other columns replicated by ``np.repeat``;
+  XPath evaluation; relative variables are a positional join:
+  ``extension_ranges`` + prefix-sum materialization, with the other
+  columns replicated by ``np.repeat``;
 * **select** (constant edge) — one vectorized comparison over the text
   vector plus a prefix-sum existential per row;
 * **join** (equality edge) — existential set comparison per row, entirely
   columnar (value codes from ``np.unique`` + key intersection for ``=`` /
   ``!=``; per-row min/max aggregation for the ordering operators).
 
-Variables range over *concrete* label paths, so a query over wildcard or
-descendant bindings is a small union of per-combination reductions — one
-per assignment of variables to dataguide paths, exactly the paper's
-expansion of ``//`` against the skeleton.  Each touched vector is loaded
-through the shared cache (scanned at most once for the whole query) and
-the skeleton is never decompressed.
+Variables range over *concrete* label paths, so a query with wildcard or
+descendant bindings is a union over concrete-path *combos* — one per
+assignment of variables to dataguide paths, exactly the paper's expansion
+of ``//`` against the skeleton.  The default executor is **batched**: the
+plan runs *once* over the union table, with a per-row combo-id column
+(``cid``) and one concrete path per (variable, combo).  Each operation
+partitions its rows by the distinct concrete paths involved — not by
+combo — so every full-column kernel (predicate mask, prefix sum) runs at
+most once per plan operation per vector no matter how many combos the
+dataguide yields; the :class:`~repro.core.context.EvalContext` counts
+those sweeps and the engine asserts the bound.  The pre-existing
+combo-at-a-time executor is kept as ``batched=False`` — it re-sweeps per
+combo and exists as the measured baseline of the batched benchmark
+regime.
 
-The final cross-combination ordering uses the catalog's global preorder
-ranks: sorting rows by the rank of each variable (outermost first)
-reproduces the nested-loop document order of the naive evaluator exactly.
+Each touched vector is loaded through the context's per-document cache
+(scanned at most once for the whole query) and the skeleton is never
+decompressed.  The final cross-combo ordering uses the catalog's global
+preorder ranks: sorting rows by the rank of each variable (outermost
+first) reproduces the nested-loop document order of the naive evaluator
+exactly.
 """
 
 from __future__ import annotations
@@ -33,10 +44,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .context import EvalContext
 from .paths import ranges_to_ordinals
 from .planner import Plan
 from .qgraph import ConstEdge, EqEdge, QueryGraph
-from .xpath.vx_eval import VectorCache, _alignments, evaluate_vx, pred_mask
+from .xpath.vx_eval import _alignments, evaluate_vx, pred_mask
 
 
 @dataclass
@@ -60,21 +72,24 @@ class ReducedTable:
     n_rows: int
 
 
-def _enumerate_combos(gq: QueryGraph, vdoc, cache: VectorCache) -> list[dict]:
+def _enumerate_combos(gq: QueryGraph, vdoc, ctx: EvalContext,
+                      plan: Plan | None = None) -> list[dict]:
     """All assignments of variables to concrete dataguide paths.
 
     Root variables carry their (already predicate-filtered) ordinal sets
     from a single vectorized XPath evaluation per source; relative
     variables only fix a path here — their ordinals come from positional
-    expansion during reduction.
+    expansion during reduction.  The planner's precomputed candidate paths
+    (``plan.var_paths``) narrow the dataguide scan for relative variables.
     """
     catalog = vdoc.catalog
     guide = catalog.dataguide()
+    cand = plan.var_paths if plan is not None else {}
     root_groups: dict[str, list[tuple]] = {}
     for var in gq.variables:
         edge = gq.tree_edges[var]
         if edge.parent is None:
-            root_groups[var] = evaluate_vx(vdoc, edge.abs_path, cache).groups
+            root_groups[var] = evaluate_vx(vdoc, edge.abs_path, ctx).groups
 
     combos: list[dict] = []
 
@@ -91,7 +106,7 @@ def _enumerate_combos(gq: QueryGraph, vdoc, cache: VectorCache) -> list[dict]:
         else:
             base = assign[edge.parent][0]
             k = len(base)
-            for g in guide:
+            for g in cand.get(var, guide):
                 if len(g) > k and g[:k] == base \
                         and _alignments(edge.steps, g[k:]):
                     assign[var] = (g, None)
@@ -102,6 +117,27 @@ def _enumerate_combos(gq: QueryGraph, vdoc, cache: VectorCache) -> list[dict]:
     return combos
 
 
+def _combo_groups(cid: np.ndarray, assigns: list[dict], key):
+    """Partition row indices by ``key(assign)`` of their combo.
+
+    Yields ``(rows, representative assignment)`` per distinct key with at
+    least one surviving row — the batched executor's unit of kernel work
+    (distinct concrete paths, *not* combos)."""
+    by: dict = {}
+    for ci, a in enumerate(assigns):
+        by.setdefault(key(a), []).append(ci)
+    gid = np.empty(len(assigns), dtype=np.int64)
+    reps = []
+    for g, cis in enumerate(by.values()):
+        gid[cis] = g
+        reps.append(assigns[cis[0]])
+    row_g = gid[cid] if len(cid) else np.empty(0, dtype=np.int64)
+    for g, rep in enumerate(reps):
+        rows = np.flatnonzero(row_g == g)
+        if len(rows):
+            yield rows, rep
+
+
 def _existential_keep(mask: np.ndarray, starts: np.ndarray,
                       lengths: np.ndarray) -> np.ndarray:
     """Per-row ∃: does any ordinal in ``[start, start+length)`` satisfy
@@ -110,14 +146,14 @@ def _existential_keep(mask: np.ndarray, starts: np.ndarray,
     return cum[starts + lengths] > cum[starts]
 
 
-class _Reducer:
-    def __init__(self, vdoc, cache: VectorCache):
+class _SideResolver:
+    """Shared operand resolution for both executors."""
+
+    def __init__(self, vdoc, ctx: EvalContext):
         self.vdoc = vdoc
         self.catalog = vdoc.catalog
-        self.cache = cache
-        self._masks: dict[tuple, np.ndarray] = {}
-
-    # -- operand resolution ------------------------------------------------
+        self.ctx = ctx
+        self.cache = ctx.cache(vdoc)
 
     def _side(self, cpath: tuple, col: np.ndarray, rel: tuple):
         """Resolve one comparison operand to per-row contiguous ranges in
@@ -135,6 +171,188 @@ class _Reducer:
         starts, lengths = self.catalog.extension_ranges(cpath, col, rel)
         return qpath, starts, lengths
 
+
+class _BatchReducer(_SideResolver):
+    """One plan execution over the whole combo table.
+
+    Rows carry a combo id; every operation groups rows by the distinct
+    concrete path(s) it touches.  Full-column sweeps (mask + prefix sum)
+    are keyed by (plan operation, vector path) and cached, so each data
+    vector is swept at most once per plan operation across all combos —
+    the invariant ``EvalContext.check_passes`` asserts."""
+
+    def __init__(self, vdoc, ctx: EvalContext):
+        super().__init__(vdoc, ctx)
+        self._cums: dict[tuple, np.ndarray] = {}
+
+    def _cum_mask(self, op_idx: int, qpath: tuple, op: str,
+                  value: str) -> np.ndarray:
+        key = (qpath, op, value)
+        cum = self._cums.get(key)
+        if cum is None:
+            self.ctx.note_pass(self.vdoc, (op_idx, qpath))
+            mask = pred_mask(self.cache, qpath, op, value)
+            cum = np.concatenate(([0], np.cumsum(mask, dtype=np.int64)))
+            self._cums[key] = cum
+        return cum
+
+    # -- operations --------------------------------------------------------
+
+    def _instantiate(self, edge, assigns, cid, cols):
+        v = edge.var
+        if edge.parent is None:
+            ids_list = [np.asarray(a[v][1], dtype=np.int64) for a in assigns]
+            counts = np.array([len(x) for x in ids_list], dtype=np.int64)
+            flat = (np.concatenate(ids_list) if ids_list
+                    else np.empty(0, dtype=np.int64))
+            offs = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(counts)))
+            m = counts[cid]
+            cols = {u: np.repeat(c, m) for u, c in cols.items()}
+            cols[v] = flat[ranges_to_ordinals(offs[cid], m)]
+            return np.repeat(cid, m), cols
+        # relative binding: positional join, grouped by the distinct
+        # (parent path, own path) pairs — not by combo
+        p = edge.parent
+        n = len(cid)
+        starts_all = np.zeros(n, dtype=np.int64)
+        lengths_all = np.zeros(n, dtype=np.int64)
+        for rows, a in _combo_groups(cid, assigns,
+                                     key=lambda a: (a[p][0], a[v][0])):
+            pcp = a[p][0]
+            rel = a[v][0][len(pcp):]
+            starts, lengths = self.catalog.extension_ranges(
+                pcp, cols[p][rows], rel)
+            starts_all[rows] = starts
+            lengths_all[rows] = lengths
+        cols = {u: np.repeat(c, lengths_all) for u, c in cols.items()}
+        cols[v] = ranges_to_ordinals(starts_all, lengths_all)
+        return np.repeat(cid, lengths_all), cols
+
+    def _select(self, op_idx, sel: ConstEdge, assigns, cid, cols):
+        keep = np.zeros(len(cid), dtype=bool)
+        for rows, a in _combo_groups(cid, assigns,
+                                     key=lambda a: a[sel.var][0]):
+            side = self._side(a[sel.var][0], cols[sel.var][rows], sel.rel)
+            if side is None:
+                continue
+            qpath, starts, lengths = side
+            cum = self._cum_mask(op_idx, qpath, sel.op, sel.value)
+            keep[rows] = cum[starts + lengths] > cum[starts]
+        return keep
+
+    def _join_sides(self, join: EqEdge, assigns, cid, cols):
+        """Resolve both operands over all rows: per side, the per-row
+        extension lengths plus ``(expanded row ids, qpath, ordinals)``
+        parts, one per distinct concrete path."""
+        n = len(cid)
+        sides = []
+        for var, rel in ((join.var1, join.rel1), (join.var2, join.rel2)):
+            lengths_all = np.zeros(n, dtype=np.int64)
+            parts = []
+            for rows, a in _combo_groups(cid, assigns,
+                                         key=lambda a, var=var: a[var][0]):
+                side = self._side(a[var][0], cols[var][rows], rel)
+                if side is None:
+                    continue
+                qpath, s, ln = side
+                lengths_all[rows] = ln
+                parts.append((np.repeat(rows, ln), qpath,
+                              ranges_to_ordinals(s, ln)))
+            sides.append((lengths_all, parts))
+        return sides
+
+    def _join(self, op_idx, join: EqEdge, assigns, cid, cols):
+        n = len(cid)
+        (l1, parts1), (l2, parts2) = self._join_sides(join, assigns,
+                                                      cid, cols)
+        op = join.op
+        if op in ("=", "!="):
+            # gather both sides (row-proportional work), then ONE global
+            # value coding + key intersection across every combo at once
+            r1 = (np.concatenate([p[0] for p in parts1])
+                  if parts1 else np.empty(0, dtype=np.int64))
+            r2 = (np.concatenate([p[0] for p in parts2])
+                  if parts2 else np.empty(0, dtype=np.int64))
+            v1 = (np.concatenate([self.cache.column(q)[o]
+                                  for _, q, o in parts1])
+                  if parts1 else np.empty(0, dtype=np.str_))
+            v2 = (np.concatenate([self.cache.column(q)[o]
+                                  for _, q, o in parts2])
+                  if parts2 else np.empty(0, dtype=np.str_))
+            uniq, codes = np.unique(np.concatenate([v1, v2]),
+                                    return_inverse=True)
+            m = max(len(uniq), 1)
+            k1 = r1 * m + codes[: len(v1)]
+            k2 = r2 * m + codes[len(v1):]
+            if op == "=":
+                keep = np.zeros(n, dtype=bool)
+                keep[np.intersect1d(k1, k2) // m] = True
+                return keep
+            # ∃ a≠b  ⟺  both sides non-empty and the union holds ≥2 values
+            distinct = np.bincount(
+                np.unique(np.concatenate([k1, k2])) // m, minlength=n)
+            return (l1 > 0) & (l2 > 0) & (distinct >= 2)
+
+        # ordering operators: existential reduces to min/max of the numeric
+        # values per row (fmin/fmax skip NaN = non-numeric text), aggregated
+        # globally across all combos in one accumulator pair
+        lo1 = op in ("<", "<=")
+        a1 = np.full(n, np.inf if lo1 else -np.inf)
+        a2 = np.full(n, -np.inf if lo1 else np.inf)
+        num1 = np.zeros(n, dtype=bool)
+        num2 = np.zeros(n, dtype=bool)
+        for r, q, o in parts1:
+            v = self.cache.floats(q)[o]
+            (np.fmin if lo1 else np.fmax).at(a1, r, v)
+            num1 |= np.bincount(r[~np.isnan(v)], minlength=n) > 0
+        for r, q, o in parts2:
+            v = self.cache.floats(q)[o]
+            (np.fmax if lo1 else np.fmin).at(a2, r, v)
+            num2 |= np.bincount(r[~np.isnan(v)], minlength=n) > 0
+        if op == "<":
+            keep = a1 < a2
+        elif op == "<=":
+            keep = a1 <= a2
+        elif op == ">":
+            keep = a1 > a2
+        else:
+            keep = a1 >= a2
+        return keep & num1 & num2
+
+    # -- the one plan execution --------------------------------------------
+
+    def run(self, plan: Plan, gq: QueryGraph, assigns: list[dict]):
+        cid = np.arange(len(assigns), dtype=np.int64)
+        cols: dict[str, np.ndarray] = {}
+        for op_idx, op in enumerate(plan.ops):
+            if len(cid) == 0:
+                break
+            edge = op.payload
+            if op.kind == "instantiate":
+                cid, cols = self._instantiate(edge, assigns, cid, cols)
+            else:
+                if op.kind == "select":
+                    keep = self._select(op_idx, edge, assigns, cid, cols)
+                else:
+                    keep = self._join(op_idx, edge, assigns, cid, cols)
+                cid = cid[keep]
+                cols = {v: c[keep] for v, c in cols.items()}
+        return cid, cols
+
+
+class _ComboReducer(_SideResolver):
+    """The pre-batching executor: re-run the plan once per combo.
+
+    Kept as the measured baseline — its full-column prefix sums repeat per
+    combo (the pass counters show > 1 sweep per operation), which is the
+    regression batching removes; the engine only arms the strict pass
+    assertion in batched mode."""
+
+    def __init__(self, vdoc, ctx: EvalContext):
+        super().__init__(vdoc, ctx)
+        self._masks: dict[tuple, np.ndarray] = {}
+
     def _mask(self, qpath: tuple, op: str, value: str) -> np.ndarray:
         key = (qpath, op, value)
         m = self._masks.get(key)
@@ -143,14 +361,14 @@ class _Reducer:
             self._masks[key] = m
         return m
 
-    # -- operations --------------------------------------------------------
-
-    def select_keep(self, sel: ConstEdge, cpath: tuple,
+    def select_keep(self, op_idx: int, sel: ConstEdge, cpath: tuple,
                     col: np.ndarray) -> np.ndarray:
         side = self._side(cpath, col, sel.rel)
         if side is None:
             return np.zeros(len(col), dtype=bool)
         qpath, starts, lengths = side
+        # one full prefix-sum sweep *per combo* — the cost being benchmarked
+        self.ctx.note_pass(self.vdoc, (op_idx, qpath))
         return _existential_keep(self._mask(qpath, sel.op, sel.value),
                                  starts, lengths)
 
@@ -207,13 +425,11 @@ class _Reducer:
             keep = a1 > a2 if op == ">" else a1 >= a2
         return keep & num1 & num2
 
-    # -- one combination ---------------------------------------------------
-
     def run_combo(self, plan: Plan, gq: QueryGraph, assign: dict):
         catalog = self.catalog
         cols: dict[str, np.ndarray] = {}
         n = 1
-        for op in plan.ops:
+        for op_idx, op in enumerate(plan.ops):
             if n == 0:
                 return None
             edge = op.payload
@@ -233,7 +449,7 @@ class _Reducer:
                     cols[edge.var] = ranges_to_ordinals(starts, lengths)
                     n = len(cols[edge.var])
             elif op.kind == "select":
-                keep = self.select_keep(edge, assign[edge.var][0],
+                keep = self.select_keep(op_idx, edge, assign[edge.var][0],
                                         cols[edge.var])
                 cols = {v: c[keep] for v, c in cols.items()}
                 n = len(cols[edge.var])
@@ -250,19 +466,11 @@ class _Reducer:
         return {v: assign[v][0] for v in gq.variables}, cols, n
 
 
-def reduce_query(vdoc, gq: QueryGraph, plan: Plan,
-                 cache: VectorCache) -> ReducedTable:
-    """Reduce ``Gq`` to its binding-tuple table, globally ordered."""
-    reducer = _Reducer(vdoc, cache)
-    raw = []
-    for assign in _enumerate_combos(gq, vdoc, cache):
-        combo = reducer.run_combo(plan, gq, assign)
-        if combo is not None:
-            raw.append(combo)
-
-    # Global nested-loop document order across combinations: lexicographic
-    # by the preorder rank of each variable's binding, outermost variable
-    # first.  Ranks are unique per node, so the order is total.
+def _order_table(vdoc, gq: QueryGraph,
+                 raw: list[tuple]) -> ReducedTable:
+    """Global nested-loop document order across combinations: lexicographic
+    by the preorder rank of each variable's binding, outermost variable
+    first.  Ranks are unique per node, so the order is total."""
     catalog = vdoc.catalog
     total = sum(n for _, _, n in raw)
     combos: list[ComboRows] = []
@@ -280,3 +488,33 @@ def reduce_query(vdoc, gq: QueryGraph, plan: Plan,
             combos.append(ComboRows(var_paths, cols, inv[off:off + n]))
             off += n
     return ReducedTable(list(gq.variables), combos, total)
+
+
+def reduce_query(vdoc, gq: QueryGraph, plan: Plan,
+                 ctx: EvalContext | None = None,
+                 batched: bool = True) -> ReducedTable:
+    """Reduce ``Gq`` to its binding-tuple table, globally ordered."""
+    if ctx is None:
+        ctx = EvalContext.for_doc(vdoc, strict_passes=batched)
+    assigns = _enumerate_combos(gq, vdoc, ctx, plan)
+
+    if batched:
+        cid, cols = _BatchReducer(vdoc, ctx).run(plan, gq, assigns)
+        raw = []
+        for ci in range(len(assigns)):
+            rows = np.flatnonzero(cid == ci)
+            if len(rows) == 0:
+                continue
+            a = assigns[ci]
+            raw.append(({v: a[v][0] for v in gq.variables},
+                        {v: cols[v][rows] for v in gq.variables},
+                        len(rows)))
+        return _order_table(vdoc, gq, raw)
+
+    reducer = _ComboReducer(vdoc, ctx)
+    raw = []
+    for assign in assigns:
+        combo = reducer.run_combo(plan, gq, assign)
+        if combo is not None:
+            raw.append(combo)
+    return _order_table(vdoc, gq, raw)

@@ -26,9 +26,11 @@ from __future__ import annotations
 import numpy as np
 
 from ...util import parse_float
+from ..context import VectorCache
 from ..paths import PathsCatalog, ranges_to_ordinals
-from ..vectors import Vector
 from .ast import CHILD, Path, Pred
+
+__all__ = ["VectorCache", "VXResult", "evaluate_vx", "pred_mask"]
 
 
 def _match(test: str, label: str) -> bool:
@@ -58,29 +60,6 @@ def _alignments(steps: tuple, cpath: tuple) -> list[tuple]:
 
     rec(0, 0, ())
     return out
-
-
-class VectorCache:
-    """Per-query lazy vector loads; guarantees one scan per touched vector.
-
-    Shared across every operation of a query — including all operations of
-    an XQ graph reduction — so the engine's scan-at-most-once invariant
-    holds for whole multi-operation queries, not just single paths."""
-
-    def __init__(self, vectors: dict[tuple, Vector]):
-        self._vectors = vectors
-        self._loaded: dict[tuple, np.ndarray] = {}
-
-    def column(self, path: tuple) -> np.ndarray:
-        col = self._loaded.get(path)
-        if col is None:
-            col = self._vectors[path].scan()
-            self._loaded[path] = col
-        return col
-
-    def floats(self, path: tuple) -> np.ndarray:
-        self.column(path)  # ensure the load is accounted for
-        return self._vectors[path].floats()
 
 
 def pred_mask(cache: VectorCache, qpath: tuple, op: str, const: str) -> np.ndarray:
@@ -214,23 +193,31 @@ class VXResult:
                 qpath = (*cpath, *rel)
                 vec = self.vdoc.vectors[qpath]
                 starts, lengths = catalog.extension_ranges(cpath, ids, rel)
-                for row, (s, ln) in enumerate(zip(starts, lengths)):
-                    for v in vec.slice(int(s), int(s + ln)):
-                        per_id[row].append((rel, v))
+                # one bulk gather over the run-length ranges (no per-row
+                # slicing): materialize every value of every row at once,
+                # then fan the flat column back out to its rows
+                ords = ranges_to_ordinals(starts, lengths)
+                if len(ords) == 0:
+                    continue
+                vals = vec.gather(ords)
+                rows = np.repeat(np.arange(len(ids)), lengths)
+                for row, v in zip(rows.tolist(), vals.tolist()):
+                    per_id[row].append((rel, v))
             items.extend(tuple(it) for it in per_id)
         order = self._doc_order(self.groups)
         return [items[i] for i in order]
 
 
-def evaluate_vx(vdoc, path: Path, cache: VectorCache | None = None) -> VXResult:
+def evaluate_vx(vdoc, path: Path, ctx=None) -> VXResult:
     """Evaluate an XPath of the fragment P[*,//] over a vectorized document.
 
-    ``cache`` lets a larger computation (the XQ graph reduction, which
-    evaluates one absolute path per root-bound variable) share a single
-    per-query vector cache so the scan-once invariant spans the whole
-    query."""
+    ``ctx`` (an :class:`~repro.core.context.EvalContext`) lets a larger
+    computation — the XQ graph reduction, or a repository-wide query —
+    share one per-document vector cache so the scan-once invariant spans
+    the whole query, and carries the pool-wide invariant guards."""
     catalog: PathsCatalog = vdoc.catalog
-    cache = cache or VectorCache(vdoc.vectors)
+    cache = ctx.cache(vdoc) if ctx is not None \
+        else VectorCache(vdoc.vectors)
     steps = path.steps
     groups: dict[tuple, list] = {}
 

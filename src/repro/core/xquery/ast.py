@@ -43,11 +43,17 @@ def _fmt_rel(var: str, rel: tuple) -> str:
 
 @dataclass(frozen=True)
 class AbsSource:
-    """A ``for``/``let`` source that is an absolute XPath (full P[*,//])."""
+    """A ``for``/``let`` source that is an absolute XPath (full P[*,//]).
+
+    ``collection`` names the repository collection the path ranges over
+    (``collection("name")/...``); ``None`` means the context document."""
 
     path: Path
+    collection: str | None = None
 
     def __str__(self) -> str:
+        if self.collection is not None:
+            return f"collection({self.collection!r}){self.path}"
         return str(self.path)
 
 

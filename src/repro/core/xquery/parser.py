@@ -218,9 +218,22 @@ def _parse_source(sc: _Scanner) -> AbsSource | RelSource:
         if not steps:
             raise sc.err("a relative source needs at least one step")
         return RelSource(var, steps)
+    if sc.peek_word("collection"):
+        sc.eat_word("collection")
+        sc.expect("(")
+        sc.ws()
+        if sc.i >= len(sc.s) or sc.s[sc.i] not in "\"'":
+            raise sc.err("collection() takes a quoted name")
+        name = _parse_literal(sc)
+        sc.expect(")")
+        if not sc.peek("/"):
+            raise sc.err("collection(...) must be followed by an "
+                         "absolute path")
+        return AbsSource(parse_xpath(_scan_abspath(sc)), collection=name)
     if sc.peek("/"):
         return AbsSource(parse_xpath(_scan_abspath(sc)))
-    raise sc.err("expected an absolute path or $var/...")
+    raise sc.err("expected an absolute path, collection('name')/..., "
+                 "or $var/...")
 
 
 def _parse_literal(sc: _Scanner) -> str:

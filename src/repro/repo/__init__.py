@@ -1,0 +1,20 @@
+"""``repro.repo`` — multi-document repositories over one shared buffer
+pool, with a persisted path catalog and ``collection()`` query support."""
+
+from .fsck import verify_repository
+from .repository import (
+    MANIFEST,
+    RepoXQResult,
+    Repository,
+    RepositoryError,
+    member_paths,
+)
+
+__all__ = [
+    "MANIFEST",
+    "RepoXQResult",
+    "Repository",
+    "RepositoryError",
+    "member_paths",
+    "verify_repository",
+]

@@ -1,0 +1,65 @@
+"""``verify_repository`` — offline integrity checking for repositories.
+
+Extends the single-file fsck (:mod:`repro.storage.fsck`) with awareness
+of the repository manifest and its persisted path catalog:
+
+1. ``repo.json`` parses and passes the strict manifest schema;
+2. every member's page file exists and passes ``verify_vdoc`` (findings
+   are re-reported with the member name in the message);
+3. **catalog cross-check** — each member's cataloged (path, count)
+   entries are recomputed from the member's actual skeleton; a stale or
+   tampered catalog is a finding, not a silent lie (the catalog is what
+   tools trust *without* opening members).
+
+Read-only throughout, like the file-level fsck; collects findings rather
+than raising, so one run reports every reachable problem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import ReproError
+from ..storage.fsck import Finding, verify_vdoc
+from ..storage.vdocfile import open_vdoc
+from .repository import MANIFEST, _check_manifest, member_paths
+
+
+def verify_repository(dirpath: str, deep: bool = False) -> list[Finding]:
+    """Verify a repository directory; returns all findings (empty = ok)."""
+    findings: list[Finding] = []
+    mpath = os.path.join(dirpath, MANIFEST)
+    if not os.path.isfile(mpath):
+        return [Finding("repo-manifest", f"no {MANIFEST} in {dirpath}")]
+    try:
+        with open(mpath, "r", encoding="utf-8") as f:
+            manifest = _check_manifest(json.load(f))
+    except (ValueError, UnicodeDecodeError, ReproError) as exc:
+        return [Finding("repo-manifest", str(exc))]
+
+    for m in manifest["members"]:
+        name, file = m["name"], m["file"]
+        path = os.path.join(dirpath, file)
+        if not os.path.isfile(path):
+            findings.append(Finding(
+                "repo-member", f"member {name!r}: missing file {file}"))
+            continue
+        member_findings = verify_vdoc(path, deep=deep)
+        findings.extend(
+            Finding(f.code, f"member {name!r}: {f.message}", f.page, f.slot)
+            for f in member_findings)
+        if member_findings:
+            continue  # the catalog cross-check needs a healthy member
+        with open_vdoc(path) as vdoc:
+            actual = {p: c for p, c in member_paths(vdoc)}
+        cataloged = {tuple(p): c for p, c in m["paths"]}
+        for p in sorted(set(actual) | set(cataloged)):
+            a, c = actual.get(p), cataloged.get(p)
+            if a != c:
+                findings.append(Finding(
+                    "repo-catalog",
+                    f"member {name!r}: path {'/'.join(p)} cataloged as "
+                    f"{c if c is not None else 'absent'}, document has "
+                    f"{a if a is not None else 'no such path'}"))
+    return findings

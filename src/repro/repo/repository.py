@@ -1,0 +1,337 @@
+"""Repositories: named collections of ``.vdoc`` documents, queried as one.
+
+A repository is a directory::
+
+    myrepo/
+      repo.json     <- manifest + persisted path catalog
+      a.vdoc        <- member documents (format v2 page files)
+      b.vdoc
+
+``repo.json`` carries the manifest — format tag, collection name, members
+in add order — and the **path catalog**: for every member, each concrete
+label path of its dataguide with its occurrence count, recorded at
+``add`` time.  The catalog is the repository-level dataguide (the path
+summary of Arion et al.): planners and tools can see which members
+contain which paths, and how often, without opening a single page file.
+The manifest is rewritten atomically (temp file + ``os.replace`` + dir
+fsync), mirroring ``save_vdoc``'s crash contract.
+
+All members are opened lazily over **one shared buffer pool**, so
+eviction pressure, I/O statistics and pin accounting are global across
+the collection — ``Repository.io_stats()`` reports per-member and
+pool-wide counters, and the engine's zero-leaked-pins assertion holds
+pool-wide.  ``xq`` evaluates a (possibly ``collection("name")``-sourced)
+XQ query member at a time with a per-member plan, concatenating results
+in (member, document-order) order; a storage failure in one member
+surfaces as a :class:`StorageError` naming that member and leaves the
+pool clean, so sibling members stay queryable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+
+from ..core.context import EvalContext
+from ..core.engine import XQVXResult, eval_query, eval_xq
+from ..core.qgraph import compile_query
+from ..core.vdoc import VectorizedDocument
+from ..core.xquery.ast import XQuery
+from ..core.xquery.parser import parse_xq
+from ..errors import ReproError, StorageError, XQCompileError
+from ..storage.buffer import BufferPool
+from ..storage.vdocfile import open_vdoc
+from ..xmldata.model import Element
+from ..xmldata.serializer import serialize
+
+MANIFEST = "repo.json"
+REPO_FORMAT = 1
+
+
+class RepositoryError(ReproError):
+    """Repository-level misuse or a malformed repository directory."""
+
+
+def member_paths(vdoc: VectorizedDocument) -> list[tuple[tuple, int]]:
+    """The path-catalog entry of one document: every concrete label path of
+    its dataguide with its occurrence count (skeleton statistics only — no
+    data vector is touched)."""
+    catalog = vdoc.catalog
+    return [(p, int(catalog.index(p).total)) for p in catalog.dataguide()]
+
+
+def _check_manifest(raw) -> dict:
+    """Validate ``repo.json`` against the strict schema; returns it."""
+    def bad(msg: str) -> RepositoryError:
+        return RepositoryError(f"invalid repository manifest: {msg}")
+
+    if not isinstance(raw, dict):
+        raise bad("not a JSON object")
+    if raw.get("format") != REPO_FORMAT:
+        raise bad(f"unsupported format {raw.get('format')!r} "
+                  f"(expected {REPO_FORMAT})")
+    if not isinstance(raw.get("name"), str) or not raw["name"]:
+        raise bad("missing collection name")
+    members = raw.get("members")
+    if not isinstance(members, list):
+        raise bad("members is not a list")
+    seen: set[str] = set()
+    for m in members:
+        if not isinstance(m, dict):
+            raise bad("member entry is not an object")
+        name, file = m.get("name"), m.get("file")
+        if not isinstance(name, str) or not name:
+            raise bad("member without a name")
+        if name in seen:
+            raise bad(f"duplicate member {name!r}")
+        seen.add(name)
+        if not isinstance(file, str) or not file or os.sep in file \
+                or (os.altsep and os.altsep in file) or file.startswith("."):
+            raise bad(f"member {name!r}: bad file entry {file!r}")
+        paths = m.get("paths")
+        if not isinstance(paths, list):
+            raise bad(f"member {name!r}: paths is not a list")
+        for entry in paths:
+            if (not isinstance(entry, list) or len(entry) != 2
+                    or not isinstance(entry[0], list)
+                    or not all(isinstance(c, str) for c in entry[0])
+                    or not isinstance(entry[1], int) or entry[1] < 0):
+                raise bad(f"member {name!r}: bad path entry {entry!r}")
+    return raw
+
+
+class RepoXQResult:
+    """A collection query's result: per-member results concatenated in
+    (member, document-order) order under one result root."""
+
+    def __init__(self, root_tag: str, results: list[tuple[str, XQVXResult]]):
+        self.root_tag = root_tag
+        self.results = results           # [(member name, XQVXResult)]
+        self.n_tuples = sum(r.n_tuples for _, r in results)
+
+    def to_xml(self) -> str:
+        # each member result decompresses its own (small) output tree;
+        # their children are spliced under one shared root, preserving
+        # member order — byte-identical to concatenated per-member output
+        kids = []
+        for _, r in self.results:
+            kids.extend(r.vdoc.to_tree().children)
+        return serialize(Element(self.root_tag, children=kids))
+
+
+class Repository:
+    """An open repository: manifest + one shared buffer pool."""
+
+    def __init__(self, dirpath: str, manifest: dict, pool: BufferPool):
+        self.dirpath = dirpath
+        self.manifest = manifest
+        self.pool = pool
+        self._open: dict[str, object] = {}    # name -> DiskVectorizedDocument
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def init(cls, dirpath: str, name: str,
+             pool_pages: int | None = None) -> "Repository":
+        """Create an empty repository at ``dirpath`` (which may exist but
+        must not already hold a manifest)."""
+        os.makedirs(dirpath, exist_ok=True)
+        mpath = os.path.join(dirpath, MANIFEST)
+        if os.path.exists(mpath):
+            raise RepositoryError(f"{dirpath}: already a repository")
+        manifest = {"format": REPO_FORMAT, "name": name, "members": []}
+        repo = cls(dirpath, manifest,
+                   BufferPool(capacity=pool_pages))
+        repo._write_manifest()
+        return repo
+
+    @classmethod
+    def open(cls, dirpath: str, pool_pages: int | None = None,
+             verify: bool = True) -> "Repository":
+        mpath = os.path.join(dirpath, MANIFEST)
+        if not os.path.isfile(mpath):
+            raise RepositoryError(f"{dirpath}: not a repository "
+                                  f"(no {MANIFEST})")
+        try:
+            with open(mpath, "r", encoding="utf-8") as f:
+                raw = json.load(f)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RepositoryError(
+                f"invalid repository manifest: not JSON ({exc})") from exc
+        manifest = _check_manifest(raw)
+        return cls(dirpath, manifest,
+                   BufferPool(capacity=pool_pages, verify=verify))
+
+    def close(self) -> None:
+        for vdoc in self._open.values():
+            vdoc.close()
+        self._open.clear()
+
+    def __enter__(self) -> "Repository":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- manifest / catalog ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.manifest["name"]
+
+    def members(self) -> list[str]:
+        return [m["name"] for m in self.manifest["members"]]
+
+    def _entry(self, name: str) -> dict:
+        for m in self.manifest["members"]:
+            if m["name"] == name:
+                return m
+        raise RepositoryError(f"no member {name!r} in repository "
+                              f"{self.name!r}")
+
+    def catalog_paths(self) -> dict[tuple, dict[str, int]]:
+        """The repository dataguide from the persisted catalog: concrete
+        label path -> per-member occurrence counts (no page file opened)."""
+        out: dict[tuple, dict[str, int]] = {}
+        for m in self.manifest["members"]:
+            for path, count in m["paths"]:
+                out.setdefault(tuple(path), {})[m["name"]] = count
+        return out
+
+    def _write_manifest(self) -> None:
+        """Atomic durable manifest rewrite (same contract as save_vdoc)."""
+        mpath = os.path.join(self.dirpath, MANIFEST)
+        fd, tmp = tempfile.mkstemp(dir=self.dirpath, prefix=".repo-",
+                                   suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(self.manifest, f, indent=1)
+                f.write("\n")
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, mpath)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        dfd = os.open(self.dirpath, os.O_RDONLY)
+        try:
+            os.fsync(dfd)
+        finally:
+            os.close(dfd)
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, src: str, name: str | None = None,
+            page_size: int | None = None) -> str:
+        """Add a document: ``src`` is an XML file (vectorized and saved
+        into the repository) or an existing ``.vdoc`` (copied in).  The
+        member's path-catalog entry is built here, at add time."""
+        from ..storage.disk import PageFile
+
+        if name is None:
+            name = os.path.splitext(os.path.basename(src))[0]
+        if any(m["name"] == name for m in self.manifest["members"]):
+            raise RepositoryError(f"member {name!r} already exists")
+        file = f"{name}.vdoc"
+        dest = os.path.join(self.dirpath, file)
+        if os.path.exists(dest):
+            raise RepositoryError(f"{dest}: already exists")
+        if PageFile.is_page_file(src):
+            shutil.copyfile(src, dest)
+        else:
+            with open(src, "r", encoding="utf-8") as f:
+                vdoc = VectorizedDocument.from_xml(f.read())
+            vdoc.save(dest, page_size=page_size)
+        # catalog the member through a private pool: validates the file and
+        # reads only catalog + skeleton pages (no data vector is touched)
+        try:
+            with open_vdoc(dest) as disk_doc:
+                paths = member_paths(disk_doc)
+        except StorageError:
+            os.unlink(dest)
+            raise
+        self.manifest["members"].append({
+            "name": name, "file": file,
+            "paths": [[list(p), c] for p, c in paths],
+        })
+        try:
+            self._write_manifest()
+        except BaseException:
+            self.manifest["members"].pop()
+            os.unlink(dest)
+            raise
+        return name
+
+    def member(self, name: str):
+        """The named member, opened lazily over the shared pool."""
+        vdoc = self._open.get(name)
+        if vdoc is None:
+            entry = self._entry(name)
+            path = os.path.join(self.dirpath, entry["file"])
+            try:
+                vdoc = open_vdoc(path, pool=self.pool)
+            except (OSError, StorageError) as exc:
+                raise StorageError(
+                    f"member {name!r} ({entry['file']}): {exc}") from exc
+            self._open[name] = vdoc
+        return vdoc
+
+    # -- queries -----------------------------------------------------------
+
+    def xq(self, query: str | XQuery, batched: bool = True) -> RepoXQResult:
+        """Evaluate an XQ query over every member, in member order.
+
+        ``collection("name")`` sources must name this repository; a query
+        without collection sources ranges over all members too (the
+        repository is the context collection).  Every root variable binds
+        within the member under evaluation — there are no cross-member
+        tuples, so results are exactly the concatenation of per-member
+        evaluations, interleaved in (member, document-order) order."""
+        xq = query if isinstance(query, XQuery) else parse_xq(query)
+        gq, _ = compile_query(xq)
+        if gq.collection is not None and gq.collection != self.name:
+            raise XQCompileError(
+                f"query ranges over collection {gq.collection!r} but this "
+                f"repository is {self.name!r}")
+        ctx = EvalContext(strict_passes=batched)
+        results: list[tuple[str, XQVXResult]] = []
+        for name in self.members():
+            vdoc = self.member(name)
+            try:
+                results.append(
+                    (name, eval_xq(vdoc, xq, batched=batched, ctx=ctx)))
+            except StorageError as exc:
+                raise StorageError(f"member {name!r}: {exc}") from exc
+        return RepoXQResult(xq.root_tag, results)
+
+    def xpath(self, query: str) -> list[tuple[str, object]]:
+        """Evaluate an XPath over every member; per-member ``VXResult``\\ s
+        in member order."""
+        ctx = EvalContext()
+        out = []
+        for name in self.members():
+            vdoc = self.member(name)
+            try:
+                out.append((name, eval_query(vdoc, query, ctx=ctx)))
+            except StorageError as exc:
+                raise StorageError(f"member {name!r}: {exc}") from exc
+        return out
+
+    # -- reporting ---------------------------------------------------------
+
+    def io_stats(self) -> dict:
+        """Pool-wide counters plus per-member counters for every member
+        opened so far."""
+        stats = {f"pool_{k}": v for k, v in self.pool.stats.as_dict().items()}
+        stats["pool_capacity"] = self.pool.capacity
+        stats["pool_resident"] = self.pool.resident()
+        stats["pinned"] = self.pool.pinned_total()
+        for name, vdoc in self._open.items():
+            for k, v in vdoc.view.stats.as_dict().items():
+                stats[f"{name}.{k}"] = v
+        return stats

@@ -1,6 +1,20 @@
 """Buffer pool: bounded page cache with clock (second-chance) eviction.
 
-Every page access of the storage layer goes through :meth:`BufferPool.pin`
+One pool may now back *several* page files at once — the repository layer
+opens every member document of a collection over a single shared pool, so
+eviction pressure, pin accounting and I/O statistics are global across the
+whole repository (``pinned_total() == 0`` after a query means zero leaked
+pins *pool-wide*).  Frames are keyed by ``(file, page)``; each attached
+file gets a :class:`FileView` — a per-file facade with the classic
+single-file interface (``pin``/``unpin``/``page``/``new_page``) plus its
+own per-file :class:`IOStats`, while the pool aggregates the same counters
+pool-wide.
+
+For compatibility, ``BufferPool(file)`` still behaves as the old
+single-file pool: the file is attached as file 0 and the pool's own
+``pin``/``unpin``/... operate on it.
+
+Every page access of the storage layer goes through :meth:`FileView.pin`
 — the only call sites of ``PageFile.read_page`` / ``write_page`` — so the
 pool's :class:`IOStats` are the ground truth for the lazy-loading claims:
 the engine checks "each data vector is scanned at most once" against these
@@ -48,62 +62,141 @@ class _Frame:
     dirty: bool = field(default=False)
 
 
-class BufferPool:
-    """At most ``capacity`` resident pages of one :class:`PageFile`
-    (``capacity=None`` → unbounded)."""
+class FileView:
+    """One attached file's face of a (possibly shared) :class:`BufferPool`.
 
-    def __init__(self, file: PageFile, capacity: int | None = None,
-                 verify: bool = True):
-        if capacity is not None and capacity < 2:
-            # heap-file appends pin the old tail while linking a fresh page
-            raise StorageError("buffer pool needs a capacity of >= 2 pages")
+    Exposes the single-file pool interface plus per-file ``stats``; all
+    frame storage, eviction and pool-wide accounting live in the pool.
+    """
+
+    __slots__ = ("pool", "fid", "file", "stats")
+
+    def __init__(self, pool: "BufferPool", fid: int, file: PageFile):
+        self.pool = pool
+        self.fid = fid
         self.file = file
-        self.capacity = capacity
-        #: checksum-verify every physical page read (format v2 integrity);
-        #: off only for benchmarking the verification overhead itself.
-        self.verify = verify
         self.stats = IOStats()
-        self._frames: dict[int, _Frame] = {}
-        self._clock: list[int] = []  # resident pids in frame-table order
-        self._hand = 0
 
     @property
     def page_size(self) -> int:
         return self.file.page_size
 
+    def pin(self, pid: int) -> bytearray:
+        return self.pool.pin_at(self.fid, pid)
+
+    def unpin(self, pid: int, dirty: bool = False) -> None:
+        self.pool.unpin_at(self.fid, pid, dirty)
+
+    def new_page(self) -> tuple[int, bytearray]:
+        return self.pool.new_page_at(self.fid)
+
+    @contextmanager
+    def page(self, pid: int, dirty: bool = False):
+        """``with view.page(pid) as buf:`` — pin for the block's duration."""
+        buf = self.pin(pid)
+        try:
+            yield buf
+        finally:
+            self.unpin(pid, dirty)
+
+    def pinned_total(self) -> int:
+        """Pool-wide pin count (pins are accounted globally)."""
+        return self.pool.pinned_total()
+
+    def flush(self) -> None:
+        self.pool.flush()
+
+
+class BufferPool:
+    """At most ``capacity`` resident pages across every attached
+    :class:`PageFile` (``capacity=None`` → unbounded)."""
+
+    def __init__(self, file: PageFile | None = None,
+                 capacity: int | None = None, verify: bool = True):
+        if capacity is not None and capacity < 2:
+            # heap-file appends pin the old tail while linking a fresh page
+            raise StorageError("buffer pool needs a capacity of >= 2 pages")
+        self.capacity = capacity
+        #: checksum-verify every physical page read (format v2 integrity);
+        #: off only for benchmarking the verification overhead itself.
+        self.verify = verify
+        self.stats = IOStats()                    # pool-wide counters
+        self._views: list[FileView] = []
+        self._frames: dict[tuple[int, int], _Frame] = {}
+        self._clock: list[tuple[int, int]] = []   # resident keys, clock order
+        self._hand = 0
+        if file is not None:
+            self.attach(file)
+
+    # -- file attachment ---------------------------------------------------
+
+    def attach(self, file: PageFile) -> FileView:
+        """Share this pool with ``file``; returns its per-file view."""
+        view = FileView(self, len(self._views), file)
+        self._views.append(view)
+        return view
+
+    def views(self) -> list[FileView]:
+        return list(self._views)
+
+    @property
+    def file(self) -> PageFile | None:
+        """The first attached file (single-file compatibility)."""
+        return self._views[0].file if self._views else None
+
+    @property
+    def page_size(self) -> int:
+        return self._views[0].file.page_size
+
     # -- pinning -----------------------------------------------------------
 
-    def pin(self, pid: int) -> bytearray:
-        """Fix page ``pid`` in memory and return its frame buffer."""
-        frame = self._frames.get(pid)
+    def pin_at(self, fid: int, pid: int) -> bytearray:
+        """Fix page ``pid`` of file ``fid`` in memory; return its buffer."""
+        view = self._views[fid]
+        key = (fid, pid)
+        frame = self._frames.get(key)
         if frame is not None:
             self.stats.hits += 1
+            view.stats.hits += 1
             frame.pin_count += 1
             frame.ref = True
             return frame.buf
         self.stats.misses += 1
+        view.stats.misses += 1
         self._make_room()
-        buf = bytearray(self.file.read_page(pid, verify=self.verify))
+        buf = bytearray(view.file.read_page(pid, verify=self.verify))
         self.stats.pages_read += 1
-        self._admit(pid, buf)
+        view.stats.pages_read += 1
+        self._admit(key, buf)
         return buf
 
-    def new_page(self) -> tuple[int, bytearray]:
-        """Allocate a fresh page and return it pinned (dirty, zeroed) —
-        no physical read for pages that never existed."""
+    def new_page_at(self, fid: int) -> tuple[int, bytearray]:
+        """Allocate a fresh page in file ``fid``, returned pinned (dirty,
+        zeroed) — no physical read for pages that never existed."""
+        view = self._views[fid]
         self._make_room()
-        pid = self.file.allocate()
-        buf = bytearray(self.page_size)
-        frame = self._admit(pid, buf)
+        pid = view.file.allocate()
+        buf = bytearray(view.file.page_size)
+        frame = self._admit((fid, pid), buf)
         frame.dirty = True
         return pid, buf
 
-    def unpin(self, pid: int, dirty: bool = False) -> None:
-        frame = self._frames.get(pid)
+    def unpin_at(self, fid: int, pid: int, dirty: bool = False) -> None:
+        frame = self._frames.get((fid, pid))
         if frame is None or frame.pin_count <= 0:
             raise StorageError(f"unpin of page {pid} that is not pinned")
         frame.pin_count -= 1
         frame.dirty |= dirty
+
+    # single-file compatibility: operate on the first attached file
+    def pin(self, pid: int) -> bytearray:
+        return self.pin_at(0, pid)
+
+    def new_page(self) -> tuple[int, bytearray]:
+        return self.new_page_at(0)
+
+    def unpin(self, pid: int, dirty: bool = False) -> None:
+        self.unpin_at(0, pid, dirty)
 
     @contextmanager
     def page(self, pid: int, dirty: bool = False):
@@ -115,18 +208,23 @@ class BufferPool:
             self.unpin(pid, dirty)
 
     def pinned_total(self) -> int:
-        """Sum of all pin counts (the engine asserts 0 after a query)."""
+        """Sum of all pin counts across every attached file (the engine
+        asserts 0 after a query — pool-wide)."""
         return sum(f.pin_count for f in self._frames.values())
 
     def resident(self) -> int:
         return len(self._frames)
 
+    def resident_of(self, fid: int) -> int:
+        """Resident page count of one attached file (eviction fairness)."""
+        return sum(1 for f, _ in self._frames if f == fid)
+
     # -- clock eviction ----------------------------------------------------
 
-    def _admit(self, pid: int, buf: bytearray) -> _Frame:
+    def _admit(self, key: tuple[int, int], buf: bytearray) -> _Frame:
         frame = _Frame(buf, pin_count=1)
-        self._frames[pid] = frame
-        self._clock.append(pid)
+        self._frames[key] = frame
+        self._clock.append(key)
         return frame
 
     def _make_room(self) -> None:
@@ -139,39 +237,47 @@ class BufferPool:
         while scanned < limit:
             if self._hand >= len(self._clock):
                 self._hand = 0
-            pid = self._clock[self._hand]
-            frame = self._frames[pid]
+            key = self._clock[self._hand]
+            frame = self._frames[key]
             if frame.pin_count > 0:
                 self._hand += 1
             elif frame.ref:
                 frame.ref = False
                 self._hand += 1
             else:
-                self._evict(pid)
+                self._evict(key)
                 del self._clock[self._hand]  # hand now points at the next
                 return
             scanned += 1
         raise StorageError(
             f"buffer pool exhausted: all {len(self._frames)} frames pinned")
 
-    def _evict(self, pid: int) -> None:
-        frame = self._frames.pop(pid)
+    def _evict(self, key: tuple[int, int]) -> None:
+        frame = self._frames.pop(key)
+        fid, pid = key
         if frame.dirty:
-            self.file.write_page(pid, frame.buf)  # stamps the page crc
+            view = self._views[fid]
+            view.file.write_page(pid, frame.buf)  # stamps the page crc
             self.stats.pages_written += 1
+            view.stats.pages_written += 1
         self.stats.evictions += 1
+        self._views[fid].stats.evictions += 1
 
     # -- durability --------------------------------------------------------
 
     def flush(self) -> None:
         """Write back every dirty frame (frames stay resident)."""
-        for pid in sorted(self._frames):
-            frame = self._frames[pid]
+        for key in sorted(self._frames):
+            frame = self._frames[key]
             if frame.dirty:
-                self.file.write_page(pid, frame.buf)  # stamps the page crc
+                fid, pid = key
+                view = self._views[fid]
+                view.file.write_page(pid, frame.buf)  # stamps the page crc
                 self.stats.pages_written += 1
+                view.stats.pages_written += 1
                 frame.dirty = False
-        self.file.flush()
+        for view in self._views:
+            view.file.flush()
 
     def close(self) -> None:
         if self.pinned_total():

@@ -139,19 +139,28 @@ class DiskVectorizedDocument(VectorizedDocument):
     """A :class:`VectorizedDocument` whose vectors are disk-backed.
 
     The skeleton and catalog are memory-resident; every vector is a
-    :class:`LazyVector` over ``self.pool``.  Query evaluation is unchanged
-    — ``eval_query`` / ``eval_xq`` work as for the in-memory document, with
-    the engine additionally checking page-read counts and pin leaks.
+    :class:`LazyVector` over ``self.pool`` — which may be *shared* with
+    other open documents (a repository opens every member over one pool);
+    ``self.view`` is this document's per-file face of it, carrying the
+    per-document I/O counters.  Query evaluation is unchanged —
+    ``eval_query`` / ``eval_xq`` work as for the in-memory document, with
+    the engine additionally checking page-read counts and pin leaks
+    (pool-wide).
     """
 
     def __init__(self, store, root, vectors, pool: BufferPool,
-                 file: PageFile):
+                 file: PageFile, view=None):
         super().__init__(store, root, vectors)
         self.pool = pool
         self.file = file
+        self.view = view if view is not None else pool.views()[0]
 
     def io_stats(self) -> dict:
-        stats = self.pool.stats.as_dict()
+        """Per-document physical/logical I/O counters, plus the pool-wide
+        aggregates (``pool_*``) — distinct when the pool is shared."""
+        stats = self.view.stats.as_dict()
+        for k, v in self.pool.stats.as_dict().items():
+            stats[f"pool_{k}"] = v
         stats["pool_capacity"] = self.pool.capacity
         stats["pool_resident"] = self.pool.resident()
         stats["pinned"] = self.pool.pinned_total()
@@ -293,22 +302,30 @@ def _check_catalog(meta, path: str, n_pages: int) -> None:
 
 
 def open_vdoc(path: str, pool_pages: int | None = None,
-              verify_checksums: bool = True) -> DiskVectorizedDocument:
+              verify_checksums: bool = True,
+              pool: BufferPool | None = None) -> DiskVectorizedDocument:
     """Open a saved vdoc with a buffer pool of ``pool_pages`` frames
     (``None`` → unbounded).  Reads the catalog and skeleton eagerly,
     vectors lazily.  ``verify_checksums=False`` skips the per-read page
-    checksum (benchmarking the verification overhead only)."""
+    checksum (benchmarking the verification overhead only).
+
+    Pass an existing ``pool`` to open the document over a *shared* buffer
+    pool (the repository layer opens every member this way); the file is
+    attached as a new :class:`~repro.storage.buffer.FileView` and
+    ``pool_pages``/``verify_checksums`` are ignored in favour of the
+    pool's own settings."""
     file = PageFile.open(path)
     try:
-        pool = BufferPool(file, capacity=pool_pages,
-                          verify=verify_checksums)
+        if pool is None:
+            pool = BufferPool(capacity=pool_pages, verify=verify_checksums)
+        view = pool.attach(file)
         if file.meta_page < 0:
             raise StorageError(f"{path}: page file has no vdoc catalog")
         if file.meta_page >= file.n_pages:
             raise CorruptDataError(
                 f"{path}: catalog head page {file.meta_page} outside the "
                 f"file ({file.n_pages} pages)")
-        meta_records = list(HeapFile(pool, file.meta_page).records())
+        meta_records = list(HeapFile(view, file.meta_page).records())
         if not meta_records:
             raise StorageError(f"{path}: empty vdoc catalog")
         try:
@@ -319,7 +336,7 @@ def open_vdoc(path: str, pool_pages: int | None = None,
         _check_catalog(meta, path, file.n_pages)
 
         store = NodeStore()
-        skel = HeapFile(pool, meta["skeleton"]["head"],
+        skel = HeapFile(view, meta["skeleton"]["head"],
                         n_pages=meta["skeleton"]["pages"])
         for nid, record in enumerate(skel.records()):
             label, runs = _decode_node(record)
@@ -351,9 +368,10 @@ def open_vdoc(path: str, pool_pages: int | None = None,
         vectors: dict[tuple, LazyVector] = {}
         for entry in meta["vectors"]:
             vpath = tuple(entry["path"])
-            heap = HeapFile(pool, entry["head"], n_pages=entry["pages"])
+            heap = HeapFile(view, entry["head"], n_pages=entry["pages"])
             vectors[vpath] = LazyVector(vpath, entry["n"], heap)
-        return DiskVectorizedDocument(store, meta["root"], vectors, pool, file)
+        return DiskVectorizedDocument(store, meta["root"], vectors, pool, file,
+                                      view=view)
     except BaseException:
         file.abort()  # never write back to a file we failed to open
         raise

@@ -121,3 +121,92 @@ def test_cli_xq_query(tmp_path, capsys):
     # XQ syntax errors are reported, not raised
     assert main(["query", str(f), "for $x in"]) == 1
     assert "error" in capsys.readouterr().err
+
+
+def _make_cli_repo(tmp_path, capsys, n_docs=2):
+    from repro.datasets.synth import xmark_like_xml
+
+    d = str(tmp_path / "repo")
+    assert main(["repo", "init", d, "--name", "auctions"]) == 0
+    for i in range(n_docs):
+        f = tmp_path / f"m{i}.xml"
+        f.write_text(xmark_like_xml(8 + 4 * i, seed=i), encoding="utf-8")
+        assert main(["repo", "add", d, str(f), "--page-size", "512"]) == 0
+    capsys.readouterr()
+    return d
+
+
+def test_cli_repo_init_add_ls(tmp_path, capsys):
+    d = _make_cli_repo(tmp_path, capsys)
+    assert main(["repo", "ls", d]) == 0
+    out = capsys.readouterr().out
+    assert "repository 'auctions': 2 member(s)" in out
+    assert "m0" in out and "m1" in out and "paths=" in out
+
+    # init refuses an existing repository; add refuses duplicate names
+    assert main(["repo", "init", d, "--name", "other"]) == 1
+    assert "already a repository" in capsys.readouterr().err
+    assert main(["repo", "add", d, str(tmp_path / "m0.xml")]) == 1
+    assert "already exists" in capsys.readouterr().err
+
+
+def test_cli_repo_query_collection(tmp_path, capsys):
+    d = _make_cli_repo(tmp_path, capsys)
+    q = ("for $p in collection('auctions')/site/people/person "
+         "where $p/profile/age > '40' return <r>{$p/name}</r>")
+    assert main(["repo", "query", d, q, "--pool", "6", "--io-stats"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.startswith("<result")
+    err = captured.err
+    assert "pool_pages_read=" in err and "pinned=0" in err
+    assert "m0.pages_read=" in err and "m1.pages_read=" in err
+
+    # per-combo baseline produces the same bytes through the CLI too
+    assert main(["repo", "query", d, q, "--per-combo"]) == 0
+    assert capsys.readouterr().out == captured.out
+
+    # XPath over a repository: per-member counts
+    assert main(["repo", "query", d, "/site/people/person"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert out == ["m0: count 8", "m1: count 12"]
+
+    # a collection name that is not this repository is an error
+    assert main(["repo", "query", d, q.replace("auctions", "nope")]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_repo_io_stats_printed_on_error(tmp_path, capsys):
+    """A failing collection query still reports what it read, and the
+    error names the corrupt member; `check` on the directory agrees."""
+    import os
+
+    d = _make_cli_repo(tmp_path, capsys)
+    victim = os.path.join(d, "m1.vdoc")
+    size = os.path.getsize(victim)
+    with open(victim, "r+b") as f:     # corrupt pages, keep the header
+        for off in range(512, size - 1024, 512):
+            f.seek(off + 64)
+            f.write(b"\xee" * 32)
+    q = ("for $p in /site/people/person where $p/profile/age > '40' "
+         "return <r>{$p/name}</r>")
+    assert main(["repo", "query", d, q, "--io-stats"]) == 1
+    captured = capsys.readouterr()
+    assert "pool_pages_read=" in captured.err  # stats despite the failure
+    assert "pinned=0" in captured.err          # and the pool stayed clean
+    assert "member 'm1'" in captured.err
+
+    assert main(["check", d]) == 1
+    captured = capsys.readouterr()
+    assert "member 'm1'" in captured.out
+    assert "integrity finding(s)" in captured.err
+
+
+def test_cli_check_repo_ok_and_not_a_repo(tmp_path, capsys):
+    d = _make_cli_repo(tmp_path, capsys)
+    assert main(["check", d]) == 0
+    assert "ok" in capsys.readouterr().out
+    empty = tmp_path / "not-a-repo"
+    empty.mkdir()
+    assert main(["check", str(empty)]) == 1
+    out = capsys.readouterr().out
+    assert "repo.json" in out
