@@ -19,6 +19,11 @@ in four regimes:
   integrity checks.  The cold-path checksum overhead must stay under 10%
   (asserted only when the baseline is long enough to time reliably).
 
+Two repository regimes follow: collection queries over one shared
+bounded pool, and **catalog pruning** — repositories where most members
+are schema-disjoint from the query, asserting the pruned members are
+skipped with zero page I/O and the answer stays byte-identical.
+
 Before timing, both queries are checked byte-identical against the
 in-memory document.  Results go to BENCH_disk.json.  Exits nonzero if a
 regime breaks its expected I/O profile (disable with --no-assert;
@@ -154,6 +159,82 @@ def run_repo_regime(sizes, pool_pages, page_size, tmpdir) -> tuple[list, list]:
     return records, failures
 
 
+#: catalog-pruning regime: how many members match the query schema and
+#: how many are schema-disjoint (prunable straight from the manifest)
+PRUNE_HITS = 2
+PRUNE_MISSES = 3
+
+
+def run_prune_regime(sizes, pool_pages, page_size, tmpdir) -> tuple[list, list]:
+    """Repositories where most members cannot match the query: catalog
+    pruning must skip them with *zero* page I/O (they are never opened)
+    and the pruned result must stay byte-identical to the full
+    evaluation."""
+    records, failures = [], []
+    print("\n== catalog pruning (schema-disjoint members) ==")
+    for n_people in sizes:
+        rdir = os.path.join(tmpdir, f"prune_{n_people}")
+        repo = Repository.init(rdir, "bench")
+        for i in range(PRUNE_HITS):
+            src = os.path.join(tmpdir, f"hit{i}_{n_people}.xml")
+            with open(src, "w", encoding="utf-8") as f:
+                f.write(xmark_like_xml(n_people, seed=200 + i))
+            repo.add(src, name=f"hit{i}", page_size=page_size)
+        for i in range(PRUNE_MISSES):
+            # same bulk, different root label: every path starts <store>,
+            # so a /site query can be refuted from the catalog alone
+            xml = xmark_like_xml(n_people, seed=300 + i)
+            xml = xml.replace("<site>", "<store>", 1) \
+                     .replace("</site>", "</store>")
+            src = os.path.join(tmpdir, f"miss{i}_{n_people}.xml")
+            with open(src, "w", encoding="utf-8") as f:
+                f.write(xml)
+            repo.add(src, name=f"miss{i}", page_size=page_size)
+        repo.close()
+
+        repo = Repository.open(rdir, pool_pages=pool_pages)
+        with Timer() as t_pruned:
+            result = repo.xq(REPO_XQ)
+        stats = repo.io_stats()
+        repo.close()
+        expected_pruned = sorted(f"miss{i}" for i in range(PRUNE_MISSES))
+        if sorted(result.pruned) != expected_pruned:
+            failures.append(f"prune n={n_people}: pruned {result.pruned}, "
+                            f"expected {expected_pruned}")
+        miss_reads = sum(stats.get(f"{m}.pages_read", 0)
+                         for m in expected_pruned)
+        if miss_reads != 0:
+            failures.append(f"prune n={n_people}: pruned members read "
+                            f"{miss_reads} pages (expected zero I/O)")
+
+        repo = Repository.open(rdir, pool_pages=pool_pages)
+        with Timer() as t_full:
+            full = repo.xq(REPO_XQ, prune=False)
+        repo.close()
+        if result.to_xml() != full.to_xml():
+            failures.append(f"prune n={n_people}: pruned result diverges "
+                            f"from the full evaluation")
+        speedup = t_full.elapsed / t_pruned.elapsed \
+            if t_pruned.elapsed > 0 else float("inf")
+        print(f"  n={n_people}: hits={PRUNE_HITS} misses={PRUNE_MISSES}"
+              f"  pruned {t_pruned.elapsed * 1e3:.2f}ms"
+              f"  full {t_full.elapsed * 1e3:.2f}ms"
+              f"  speedup {speedup:.2f}x"
+              f"  pruned_reads={miss_reads}")
+        records.append({
+            "n_people": n_people,
+            "hits": PRUNE_HITS,
+            "misses": PRUNE_MISSES,
+            "pruned": sorted(result.pruned),
+            "pruned_member_pages_read": miss_reads,
+            "t_pruned_s": t_pruned.elapsed,
+            "t_full_s": t_full.elapsed,
+            "speedup": speedup,
+            "result_tuples": result.n_tuples,
+        })
+    return records, failures
+
+
 def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
     records = []
     failures: list[str] = []
@@ -262,6 +343,10 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
         sizes, pool_pages, page_size, tmpdir)
     failures.extend(repo_failures)
 
+    prune_records, prune_failures = run_prune_regime(
+        sizes, pool_pages, page_size, tmpdir)
+    failures.extend(prune_failures)
+
     headers = ["people", "regime", "time (ms)", "reads", "hits", "evict"]
     rows = [[human_count(r["n_people"]), r["regime"], f"{r['t_s'] * 1e3:.2f}",
              r["io_pages_read"], r["io_hits"], r["io_evictions"]]
@@ -280,6 +365,12 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
             "members": list(REPO_MEMBERS),
             "xq": REPO_XQ,
             "records": repo_records,
+        },
+        "prune_regime": {
+            "hits": PRUNE_HITS,
+            "misses": PRUNE_MISSES,
+            "xq": REPO_XQ,
+            "records": prune_records,
         },
         "checksum_overhead": {str(n): round(v, 4)
                               for n, v in overheads.items()},

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI regression gate: compare a fresh BENCH_xq run against the committed
+baseline and fail if performance regressed.
+
+Both files are ``bench_xq.py`` payloads.  Every record that appears in
+*both* — matched on its regime plus identifying keys (query name and
+document/configuration size) — contributes the ratio ``fresh speedup /
+baseline speedup``; the gate fails when the **geomean** of those ratios
+drops below ``1 - GATE_TOLERANCE``.  Comparing speedups (naive/vx,
+per-combo/batched, scan/indexed — each a ratio of two timings taken on
+the same machine in the same run) rather than wall-clock times is what
+makes the gate non-flaky on shared CI runners: a uniformly slower
+machine scales both sides of each ratio and cancels out.
+
+Disjoint record sets are an explicit failure, not a silent pass — a
+renamed query or changed size sweep must update the committed baseline
+in the same change.
+
+Usage::
+
+    gate.py FRESH.json [BASELINE.json]     # default baseline BENCH_xq.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+#: allowed geomean speedup regression before the gate fails (20%)
+GATE_TOLERANCE = 0.20
+
+#: regime -> (payload path, identifying record keys)
+REGIMES = {
+    "reduction": (("records",), ("query", "n_people")),
+    "batched": (("batched_regime", "records"), ("n_people", "n_regions")),
+    "indexed": (("indexed_regime", "records"), ("query", "n_people")),
+}
+
+
+def _records(payload: dict, path: tuple[str, ...]) -> list[dict]:
+    node = payload
+    for key in path:
+        node = node.get(key, {}) if isinstance(node, dict) else {}
+    return node if isinstance(node, list) else []
+
+
+def _keyed(records: list[dict], keys: tuple[str, ...]) -> dict[tuple, dict]:
+    return {tuple(r.get(k) for k in keys): r for r in records}
+
+
+def compare(fresh: dict, baseline: dict) -> tuple[list[str], list[float]]:
+    """``(report lines, per-record speedup ratios)`` over the records the
+    two payloads share."""
+    lines: list[str] = []
+    ratios: list[float] = []
+    for regime, (path, keys) in REGIMES.items():
+        fr = _keyed(_records(fresh, path), keys)
+        br = _keyed(_records(baseline, path), keys)
+        common = sorted(set(fr) & set(br), key=str)
+        for key in common:
+            f_speed = fr[key].get("speedup")
+            b_speed = br[key].get("speedup")
+            if not isinstance(f_speed, (int, float)) or \
+                    not isinstance(b_speed, (int, float)) or \
+                    f_speed <= 0 or b_speed <= 0 or \
+                    math.isinf(f_speed) or math.isinf(b_speed):
+                continue
+            ratio = f_speed / b_speed
+            ratios.append(ratio)
+            tag = " ".join(str(k) for k in key)
+            lines.append(f"  {regime:10s} {tag:40s} "
+                         f"baseline {b_speed:7.2f}x  fresh {f_speed:7.2f}x  "
+                         f"ratio {ratio:5.2f}")
+    return lines, ratios
+
+
+def geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("fresh", help="freshly produced bench_xq payload")
+    ap.add_argument("baseline", nargs="?", default=str(
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_xq.json"),
+        help="committed baseline payload (default: BENCH_xq.json)")
+    ap.add_argument("--tolerance", type=float, default=GATE_TOLERANCE,
+                    help="allowed geomean regression fraction "
+                         "(default %(default)s)")
+    args = ap.parse_args(argv)
+
+    try:
+        fresh = json.loads(pathlib.Path(args.fresh).read_text("utf-8"))
+        baseline = json.loads(pathlib.Path(args.baseline).read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"gate: cannot load payloads: {exc}", file=sys.stderr)
+        return 2
+
+    lines, ratios = compare(fresh, baseline)
+    if not ratios:
+        print("gate: FAIL — no common records between fresh and baseline "
+              "payloads (query set or size sweep changed without updating "
+              "the committed BENCH_xq.json)", file=sys.stderr)
+        return 1
+    print("\n".join(lines))
+    geo = geomean(ratios)
+    floor = 1.0 - args.tolerance
+    print(f"gate: geomean speedup ratio {geo:.3f} over {len(ratios)} "
+          f"common records (floor {floor:.2f})")
+    if geo < floor:
+        print(f"gate: FAIL — geomean speedup regressed by "
+              f"{(1 - geo) * 100:.0f}% (> {args.tolerance * 100:.0f}% "
+              f"tolerance)", file=sys.stderr)
+        return 1
+    print("gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

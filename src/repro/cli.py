@@ -10,6 +10,8 @@ Subcommands::
     repro-xq open FILE [--pool N]            print a saved vdoc's catalog
     repro-xq check TARGET [--deep]           verify a .vdoc or a repository
     repro-xq gen N [--seed S]                synthetic XMark-like document
+    repro-xq index build FILE [--path P]     persist value indexes (format v3)
+    repro-xq index ls FILE                   list persisted index segments
     repro-xq repo init DIR --name NAME       create an empty repository
     repro-xq repo add DIR FILE [--name N]    add an XML or .vdoc member
     repro-xq repo ls DIR                     members + path catalog summary
@@ -76,6 +78,41 @@ def _print_repo_io_stats(repo) -> None:
           file=sys.stderr)
 
 
+def _index_cmd(args) -> int:
+    from .storage.vdocfile import open_vdoc, save_vdoc
+
+    if not PageFile.is_page_file(args.file):
+        return _usage_error(f"{args.file}: not a .vdoc page file "
+                            f"(run 'save' first)")
+    if args.index_cmd == "build":
+        with open_vdoc(args.file) as vdoc:
+            page_size = vdoc.file.page_size
+            if args.path:
+                index_paths = [tuple(p.split("/")) for p in args.path]
+            else:
+                index_paths = "all"
+            # save_vdoc materializes the columns through the pool, writes
+            # vectors + index segments to a temp file and atomically
+            # replaces args.file — the open handle keeps reading the old
+            # inode, so a failure leaves the original untouched
+            summary = save_vdoc(vdoc, args.file, page_size=page_size,
+                                index_paths=index_paths)
+        for k in ("path", "pages", "vectors", "indexes", "index_pages"):
+            print(f"{k:16} {summary[k]}")
+    else:
+        assert args.index_cmd == "ls"
+        with open_vdoc(args.file) as vdoc:
+            handles = sorted(vdoc._vindexes.items())
+            if not handles:
+                print(f"{args.file}: no index segments (format v2 or "
+                      f"unindexed v3)")
+            for vpath, h in handles:
+                print(f"  {'/'.join(vpath):32} n={len(vdoc.vectors[vpath])} "
+                      f"distinct={h.distinct} buckets={h.n_buckets} "
+                      f"pages={h.n_pages}")
+    return 0
+
+
 def _repo_cmd(args) -> int:
     from .repo import Repository
 
@@ -107,7 +144,12 @@ def _repo_cmd(args) -> int:
                     for name, res in repo.xpath(text):
                         print(f"{name}: count {res.count()}")
                 else:
-                    result = repo.xq(text, batched=not args.per_combo)
+                    result = repo.xq(text, batched=not args.per_combo,
+                                     prune=not args.no_prune,
+                                     use_indexes=not args.no_index)
+                    if result.pruned:
+                        print("pruned (catalog, zero I/O): "
+                              + " ".join(result.pruned), file=sys.stderr)
                     print(result.to_xml())
             finally:
                 if args.io_stats:
@@ -143,7 +185,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="XPath only: print canonical content of each "
                               "result")
     p_query.add_argument("--plan", action="store_true",
-                         help="XQ only: print the heuristic reduction plan")
+                         help="XQ only: print the heuristic reduction plan "
+                              "(per-op cost estimates and access paths)")
+    p_query.add_argument("--no-index", action="store_true",
+                         help="XQ only: forbid index probes (plan every op "
+                              "as a scan)")
     p_query.add_argument("--pool", type=int, default=None, help=pool_help)
     p_query.add_argument("--io-stats", action="store_true",
                          help="print buffer-pool I/O counters on stderr "
@@ -183,6 +229,23 @@ def main(argv: list[str] | None = None) -> int:
     p_gen.add_argument("n_people", type=int)
     p_gen.add_argument("--seed", type=int, default=0)
 
+    p_index = sub.add_parser("index", help="persistent value indexes")
+    isub = p_index.add_subparsers(dest="index_cmd", required=True)
+
+    i_build = isub.add_parser("build",
+                              help="build value-index segments inside a "
+                                   ".vdoc (atomic rewrite, format v3)")
+    i_build.add_argument("file")
+    i_build.add_argument("--path", action="append", default=None,
+                         metavar="P",
+                         help="vector path to index, slash-separated (e.g. "
+                              "people/person/name/#); repeatable; default: "
+                              "every vector")
+
+    i_ls = isub.add_parser("ls", help="list a .vdoc's persisted index "
+                                      "segments (catalog only, no I/O)")
+    i_ls.add_argument("file")
+
     p_repo = sub.add_parser("repo", help="multi-document repositories")
     rsub = p_repo.add_subparsers(dest="repo_cmd", required=True)
 
@@ -220,6 +283,12 @@ def main(argv: list[str] | None = None) -> int:
     r_query.add_argument("--per-combo", action="store_true",
                          help="use the per-combo baseline executor "
                               "instead of batched execution")
+    r_query.add_argument("--no-prune", action="store_true",
+                         help="disable catalog pruning (open and evaluate "
+                              "every member)")
+    r_query.add_argument("--no-index", action="store_true",
+                         help="forbid index probes (plan every op as a "
+                              "scan)")
 
     args = ap.parse_args(argv)
     try:
@@ -233,6 +302,9 @@ def main(argv: list[str] | None = None) -> int:
             if is_xpath and args.plan:
                 return _usage_error(
                     "--plan is only valid for XQ queries, not XPath")
+            if is_xpath and args.no_index:
+                return _usage_error(
+                    "--no-index is only valid for XQ queries, not XPath")
             if not is_xpath:
                 for flag, on in (("--values", args.values),
                                  ("--canonical", args.canonical)):
@@ -252,7 +324,8 @@ def main(argv: list[str] | None = None) -> int:
                         for item in result.canonical():
                             print(item)
                 else:
-                    result = eval_xq(vdoc, text, mode=args.mode)
+                    result = eval_xq(vdoc, text, mode=args.mode,
+                                     use_indexes=not args.no_index)
                     if args.plan and isinstance(result, XQVXResult):
                         print(result.plan.explain(), file=sys.stderr)
                     print(result.to_xml())
@@ -299,6 +372,8 @@ def main(argv: list[str] | None = None) -> int:
                 print("repro-xq: error: N must be >= 0", file=sys.stderr)
                 return 1
             sys.stdout.write(xmark_like_xml(args.n_people, seed=args.seed))
+        elif args.cmd == "index":
+            return _index_cmd(args)
         elif args.cmd == "repo":
             return _repo_cmd(args)
     except BrokenPipeError:

@@ -153,7 +153,8 @@ class EvalContext:
     def check(self, vdoc) -> None:
         """Post-query assertions for ``vdoc``: scan-once (logical and
         physical), once-per-operation passes, and zero pins pool-wide."""
-        over = [p for p, v in vdoc.vectors.items() if v.scan_count > 1]
+        units = vdoc.io_units()
+        over = [u.path for u in units if u.scan_count > 1]
         if over:
             raise EngineInvariantError(
                 "vectors scanned more than once in one query: "
@@ -161,10 +162,11 @@ class EvalContext:
             )
         # Disk-backed documents: the in-memory counter is additionally
         # checked against *physical* I/O — within the query window no
-        # vector may read more pages than one full pass over its chain.
+        # vector (or index segment) may read more pages than one full pass
+        # over its chain(s).
         over_io = [
-            p for p, v in vdoc.vectors.items()
-            if v.pages_read_in_window() > v.n_pages
+            u.path for u in units
+            if u.pages_read_in_window() > u.n_pages
         ]
         if over_io:
             raise EngineInvariantError(

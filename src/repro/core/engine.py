@@ -110,7 +110,8 @@ class XQVXResult:
 
 
 def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx",
-            batched: bool = True, ctx: EvalContext | None = None):
+            batched: bool = True, ctx: EvalContext | None = None,
+            use_indexes: bool = True):
     """Evaluate an XQ query (string or parsed :class:`XQuery`).
 
     ``vx`` compiles to (Gq, Gr), plans, reduces over extended vectors and
@@ -118,6 +119,10 @@ def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx",
     decompression, scan-at-most-once, zero leaked pins; batched mode adds
     the one-sweep-per-plan-operation assertion).  ``naive`` reconstructs
     the tree and runs the nested-loop reference evaluator.
+
+    ``use_indexes=False`` forbids index probes (the planner prices every
+    op as a scan) — the measured baseline of the indexed benchmark regime
+    and the reference side of the indexed-vs-scan identity tests.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -134,7 +139,7 @@ def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx",
     else:
         ctx.strict_passes = batched
     with ctx.guard(vdoc):
-        plan = plan_query(gq, vdoc)
+        plan = plan_query(gq, vdoc, use_indexes=use_indexes)
         table = reduce_query(vdoc, gq, plan, ctx, batched=batched)
         out = build_result(vdoc, gr, table, ctx)
     return XQVXResult(out, plan, table)

@@ -13,6 +13,21 @@ filters it) refined by the classic relational heuristics the paper cites:
 * projections that unlock selections are preferred over bare projections,
   tie-broken by smallest estimated instantiation.
 
+Every tie is broken by a stable integer **op id** assigned from the query
+graph (variables, then selections, then joins, each in graph order), so
+repeated compiles of the same query against the same statistics produce
+the *identical* plan — plan snapshots are reproducible.
+
+**Index-aware access paths** — when the document carries persistent value
+indexes (:mod:`repro.index`), each selection and equality join is priced
+twice: the scan estimate (total matching text occurrences — the column
+sweep) against the probe estimate (expected posting size ``n/u`` from the
+catalog's distinct counts, plus the probe overhead).  The cheaper side
+wins and the op is stamped ``access='index'`` or ``'scan'`` — the
+``IndexProbe`` variant the reduction executes.  An op only becomes a
+probe when *every* candidate concrete text path is indexed; the executor
+still degrades to a scan per path if an index goes missing at run time.
+
 The plan is computed once per query against aggregate dataguide
 statistics and reused for every concrete-path combination.
 """
@@ -24,15 +39,27 @@ from dataclasses import dataclass, field
 from .qgraph import ConstEdge, EqEdge, QueryGraph, TreeEdge
 from .xpath.vx_eval import _alignments
 
+#: probe cost floor: hash + two searchsorted calls have a fixed overhead
+#: that a scan over a tiny vector does not
+PROBE_OVERHEAD = 16.0
+#: assumed selectivity of a range (ordering-operator) probe
+RANGE_FRACTION = 1 / 3
+
 
 @dataclass(frozen=True)
 class PlanOp:
     kind: str      # 'instantiate' | 'select' | 'join'
     payload: TreeEdge | ConstEdge | EqEdge
-    cost: float    # statistics estimate used to order the op
+    cost: float    # statistics estimate of the *chosen* access path
+    op_id: int = 0           # stable id from the query graph (tie-breaks)
+    access: str = "scan"     # 'scan' | 'index'  (the IndexProbe variant)
+    scan_cost: float = 0.0   # the scan estimate (== cost when scanning)
 
     def __str__(self) -> str:
-        return f"{self.kind:11s} {self.payload}  (est {self.cost:.0f})"
+        est = f"est {self.cost:.0f}"
+        if self.access == "index":
+            est += f", scan {self.scan_cost:.0f}"
+        return f"{self.kind:11s} [{self.access:5s}] {self.payload}  ({est})"
 
 
 @dataclass
@@ -46,11 +73,11 @@ class Plan:
         return "\n".join(f"{i + 1}. {op}" for i, op in enumerate(self.ops))
 
 
-def _var_paths(gq: QueryGraph, vdoc) -> dict[str, list[tuple]]:
-    """Concrete label paths each variable may bind to (dataguide matches),
-    used for cost aggregation only (enumeration happens in reduction)."""
-    catalog = vdoc.catalog
-    guide = catalog.dataguide()
+def candidate_var_paths(gq: QueryGraph,
+                        guide: list[tuple]) -> dict[str, list[tuple]]:
+    """Concrete label paths each variable may bind to, against any
+    dataguide — the document's own, or a repository member's cataloged
+    path list (which is how pruning prices a member without opening it)."""
     out: dict[str, list[tuple]] = {}
     for var in gq.variables:
         edge = gq.tree_edges[var]
@@ -68,6 +95,61 @@ def _var_paths(gq: QueryGraph, vdoc) -> dict[str, list[tuple]]:
             # distinct paths (several bases may reach the same guide entry)
             out[var] = list(dict.fromkeys(matches))
     return out
+
+
+def _side_qpaths(cpaths: list[tuple], rel: tuple,
+                 guide_set: set) -> list[tuple]:
+    """The concrete text paths one comparison operand can touch: the
+    variable's candidates extended by the relative path, kept when the
+    dataguide holds them (plus the identity case for text-bound
+    variables)."""
+    out: list[tuple] = []
+    for cp in cpaths:
+        if cp[-1] == "#":
+            if rel == ("#",):
+                out.append(cp)
+            continue
+        q = (*cp, *rel)
+        if q in guide_set:
+            out.append(q)
+    return list(dict.fromkeys(out))
+
+
+def member_can_match(gq: QueryGraph, guide: list[tuple]) -> bool:
+    """Can a document whose dataguide is ``guide`` contribute *any* tuple
+    to ``gq``?  ``False`` is a proof of emptiness: some variable has no
+    concrete path, or some selection/join operand resolves to no text path
+    anywhere — the conjunctive existential then fails for every row (the
+    reduction's ``_side() is None`` case), so the member can be skipped
+    without reading a single page."""
+    vp = candidate_var_paths(gq, guide)
+    if any(not vp[v] for v in gq.variables):
+        return False
+    gset = set(guide)
+    for s in gq.selections:
+        if not _side_qpaths(vp[s.var], s.rel, gset):
+            return False
+    for j in gq.joins:
+        if not _side_qpaths(vp[j.var1], j.rel1, gset) or \
+                not _side_qpaths(vp[j.var2], j.rel2, gset):
+            return False
+    return True
+
+
+def match_estimate(gq: QueryGraph, guide_counts: dict[tuple, int]) -> float:
+    """Crude upper-bound tuple estimate from per-path occurrence counts
+    alone (a member's manifest catalog): the product over variables of
+    their candidates' total occurrences.  Used to order surviving
+    repository members most-selective-first."""
+    vp = candidate_var_paths(gq, list(guide_counts))
+    est = 1.0
+    for var in gq.variables:
+        est *= float(max(sum(guide_counts[cp] for cp in vp[var]), 1))
+    return est
+
+
+def _var_paths(gq: QueryGraph, vdoc) -> dict[str, list[tuple]]:
+    return candidate_var_paths(gq, vdoc.catalog.dataguide())
 
 
 def _cardinality(vdoc, cpaths: list[tuple]) -> float:
@@ -94,19 +176,84 @@ def _text_cardinality(vdoc, cpaths: list[tuple], rel: tuple) -> float:
     return float(total)
 
 
-def plan_query(gq: QueryGraph, vdoc) -> Plan:
+def _probe_stats(vdoc, cpaths: list[tuple], rel: tuple, guide_set: set):
+    """``(total n, total distinct)`` over the operand's text paths when
+    *every* one carries a value index; ``None`` otherwise (no probe)."""
+    qpaths = _side_qpaths(cpaths, rel, guide_set)
+    if not qpaths:
+        return None
+    n_total, u_total = 0.0, 0.0
+    for q in qpaths:
+        stats = vdoc.vindex_stats(q)
+        if stats is None:
+            return None
+        idx = vdoc.catalog.index(q)
+        n_total += float(idx.total if idx is not None else 0)
+        u_total += float(stats["distinct"])
+    return n_total, u_total
+
+
+def _sel_access(vdoc, sel: ConstEdge, cpaths, guide_set,
+                scan_cost: float) -> tuple[str, float]:
+    """Choose the access path of one selection: ``('scan'|'index', cost)``."""
+    stats = _probe_stats(vdoc, cpaths, sel.rel, guide_set)
+    if stats is None:
+        return "scan", scan_cost
+    n_total, u_total = stats
+    if sel.op in ("=", "!="):
+        # expected posting size of one key
+        probe = n_total / max(u_total, 1.0) + PROBE_OVERHEAD
+    else:
+        # range probe: gathers + sorts an assumed fraction of the rows
+        probe = n_total * RANGE_FRACTION + PROBE_OVERHEAD
+    if probe < scan_cost:
+        return "index", probe
+    return "scan", scan_cost
+
+
+def _join_access(vdoc, join: EqEdge, var_paths, guide_set,
+                 scan_cost: float) -> tuple[str, float]:
+    """Choose the access path of one join.  Only ``=`` / ``!=`` have an
+    index variant (dictionary-merge coding); ordering joins always scan."""
+    if join.op not in ("=", "!="):
+        return "scan", scan_cost
+    s1 = _probe_stats(vdoc, var_paths[join.var1], join.rel1, guide_set)
+    s2 = _probe_stats(vdoc, var_paths[join.var2], join.rel2, guide_set)
+    if s1 is None or s2 is None:
+        return "scan", scan_cost
+    # dictionary merge is u-proportional; the per-row work drops from a
+    # string sort to integer gathers — price it at a quarter of the sweep
+    probe = (s1[1] + s2[1]) / 2 + (s1[0] + s2[0]) / 4 + PROBE_OVERHEAD
+    if probe < scan_cost:
+        return "index", probe
+    return "scan", scan_cost
+
+
+def plan_query(gq: QueryGraph, vdoc, use_indexes: bool = True) -> Plan:
     """Topological + heuristic operation ordering for one document."""
     var_paths = _var_paths(gq, vdoc)
+    guide_set = set(vdoc.catalog.dataguide())
     var_card = {v: _cardinality(vdoc, var_paths[v]) for v in gq.variables}
-    sel_cost = {
-        id(s): _text_cardinality(vdoc, var_paths[s.var], s.rel)
-        for s in gq.selections
-    }
-    join_cost = {
-        id(j): _text_cardinality(vdoc, var_paths[j.var1], j.rel1)
-        + _text_cardinality(vdoc, var_paths[j.var2], j.rel2)
-        for j in gq.joins
-    }
+    # stable op ids: variables, then selections, then joins, in graph order
+    var_id = {v: i for i, v in enumerate(gq.variables)}
+    sel_id = {id(s): len(gq.variables) + i
+              for i, s in enumerate(gq.selections)}
+    join_id = {id(j): len(gq.variables) + len(gq.selections) + i
+               for i, j in enumerate(gq.joins)}
+
+    sel_plan: dict[int, tuple[str, float, float]] = {}
+    for s in gq.selections:
+        scan = _text_cardinality(vdoc, var_paths[s.var], s.rel)
+        access, cost = (_sel_access(vdoc, s, var_paths[s.var], guide_set,
+                                    scan) if use_indexes else ("scan", scan))
+        sel_plan[id(s)] = (access, cost, scan)
+    join_plan: dict[int, tuple[str, float, float]] = {}
+    for j in gq.joins:
+        scan = (_text_cardinality(vdoc, var_paths[j.var1], j.rel1)
+                + _text_cardinality(vdoc, var_paths[j.var2], j.rel2))
+        access, cost = (_join_access(vdoc, j, var_paths, guide_set, scan)
+                        if use_indexes else ("scan", scan))
+        join_plan[id(j)] = (access, cost, scan)
 
     placed: set[str] = set()
     pending_sel = list(gq.selections)
@@ -116,25 +263,28 @@ def plan_query(gq: QueryGraph, vdoc) -> Plan:
 
     def flush_filters() -> None:
         """Apply every ready selection, then every ready join — cheapest
-        first within each class."""
+        first within each class, ties broken by op id."""
         while True:
             ready = [s for s in pending_sel if s.var in placed]
             if not ready:
                 break
-            ready.sort(key=lambda s: (sel_cost[id(s)],
-                                      gq.selections.index(s)))
+            ready.sort(key=lambda s: (sel_plan[id(s)][1], sel_id[id(s)]))
             s = ready[0]
             pending_sel.remove(s)
-            ops.append(PlanOp("select", s, sel_cost[id(s)]))
+            access, cost, scan = sel_plan[id(s)]
+            ops.append(PlanOp("select", s, cost, op_id=sel_id[id(s)],
+                              access=access, scan_cost=scan))
         while True:
             ready = [j for j in pending_join
                      if j.var1 in placed and j.var2 in placed]
             if not ready:
                 break
-            ready.sort(key=lambda j: (join_cost[id(j)], gq.joins.index(j)))
+            ready.sort(key=lambda j: (join_plan[id(j)][1], join_id[id(j)]))
             j = ready[0]
             pending_join.remove(j)
-            ops.append(PlanOp("join", j, join_cost[id(j)]))
+            access, cost, scan = join_plan[id(j)]
+            ops.append(PlanOp("join", j, cost, op_id=join_id[id(j)],
+                              access=access, scan_cost=scan))
 
     while pending_var:
         ready = [v for v in pending_var
@@ -145,11 +295,12 @@ def plan_query(gq: QueryGraph, vdoc) -> Plan:
         with_sel = [v for v in ready
                     if any(s.var == v for s in pending_sel)]
         pool = with_sel or ready
-        pool.sort(key=lambda v: (var_card[v], gq.variables.index(v)))
+        pool.sort(key=lambda v: (var_card[v], var_id[v]))
         v = pool[0]
         pending_var.remove(v)
         placed.add(v)
-        ops.append(PlanOp("instantiate", gq.tree_edges[v], var_card[v]))
+        ops.append(PlanOp("instantiate", gq.tree_edges[v], var_card[v],
+                          op_id=var_id[v], scan_cost=var_card[v]))
         flush_filters()
 
     assert not pending_sel and not pending_join

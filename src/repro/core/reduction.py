@@ -44,11 +44,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..index import merge_codings
+from ..index import select_keep as vindex_select_keep
 from .context import EvalContext
 from .paths import ranges_to_ordinals
 from .planner import Plan
 from .qgraph import ConstEdge, EqEdge, QueryGraph
 from .xpath.vx_eval import _alignments, evaluate_vx, pred_mask
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -171,6 +175,42 @@ class _SideResolver:
         starts, lengths = self.catalog.extension_ranges(cpath, col, rel)
         return qpath, starts, lengths
 
+    def _vindex(self, qpath: tuple, access: str):
+        """The value index to probe for ``qpath`` under the plan's chosen
+        access path — ``None`` means execute as a scan (also the runtime
+        degradation when a planned index is missing)."""
+        if access != "index":
+            return None
+        return self.vdoc.vindex(qpath)
+
+    def _index_join_codes(self, parts1, parts2, access: str):
+        """Row ids + *shared-space* value codes for both join sides via
+        the per-path indexes: local row codes remapped through one
+        dictionary merge — all row-proportional work is integer work.
+        ``None`` means scan (chosen by the plan, or an index is missing)."""
+        if access != "index":
+            return None
+        idx: dict = {}
+        for _, q, _ in (*parts1, *parts2):
+            if q not in idx:
+                vi = self.vdoc.vindex(q)
+                if vi is None:
+                    return None
+                idx[q] = vi
+        qlist = list(idx)
+        remaps, m = merge_codings([idx[q] for q in qlist])
+        remap = dict(zip(qlist, remaps))
+
+        def side(parts):
+            rs = [p[0] for p in parts]
+            gs = [remap[q][idx[q].row_codes()[o]] for _, q, o in parts]
+            return (np.concatenate(rs) if rs else _EMPTY,
+                    np.concatenate(gs) if gs else _EMPTY)
+
+        r1, g1 = side(parts1)
+        r2, g2 = side(parts2)
+        return r1, g1, r2, g2, max(m, 1)
+
 
 class _BatchReducer(_SideResolver):
     """One plan execution over the whole combo table.
@@ -229,7 +269,8 @@ class _BatchReducer(_SideResolver):
         cols[v] = ranges_to_ordinals(starts_all, lengths_all)
         return np.repeat(cid, lengths_all), cols
 
-    def _select(self, op_idx, sel: ConstEdge, assigns, cid, cols):
+    def _select(self, op_idx, sel: ConstEdge, assigns, cid, cols,
+                access: str = "scan"):
         keep = np.zeros(len(cid), dtype=bool)
         for rows, a in _combo_groups(cid, assigns,
                                      key=lambda a: a[sel.var][0]):
@@ -237,6 +278,13 @@ class _BatchReducer(_SideResolver):
             if side is None:
                 continue
             qpath, starts, lengths = side
+            vi = self._vindex(qpath, access)
+            if vi is not None:
+                # IndexProbe: sorted matching rows from the index, two
+                # searchsorted calls per row group — no column sweep
+                keep[rows] = vindex_select_keep(vi, sel.op, sel.value,
+                                                starts, lengths)
+                continue
             cum = self._cum_mask(op_idx, qpath, sel.op, sel.value)
             keep[rows] = cum[starts + lengths] > cum[starts]
         return keep
@@ -262,29 +310,36 @@ class _BatchReducer(_SideResolver):
             sides.append((lengths_all, parts))
         return sides
 
-    def _join(self, op_idx, join: EqEdge, assigns, cid, cols):
+    def _join(self, op_idx, join: EqEdge, assigns, cid, cols,
+              access: str = "scan"):
         n = len(cid)
         (l1, parts1), (l2, parts2) = self._join_sides(join, assigns,
                                                       cid, cols)
         op = join.op
         if op in ("=", "!="):
-            # gather both sides (row-proportional work), then ONE global
-            # value coding + key intersection across every combo at once
-            r1 = (np.concatenate([p[0] for p in parts1])
-                  if parts1 else np.empty(0, dtype=np.int64))
-            r2 = (np.concatenate([p[0] for p in parts2])
-                  if parts2 else np.empty(0, dtype=np.int64))
-            v1 = (np.concatenate([self.cache.column(q)[o]
-                                  for _, q, o in parts1])
-                  if parts1 else np.empty(0, dtype=np.str_))
-            v2 = (np.concatenate([self.cache.column(q)[o]
-                                  for _, q, o in parts2])
-                  if parts2 else np.empty(0, dtype=np.str_))
-            uniq, codes = np.unique(np.concatenate([v1, v2]),
-                                    return_inverse=True)
-            m = max(len(uniq), 1)
-            k1 = r1 * m + codes[: len(v1)]
-            k2 = r2 * m + codes[len(v1):]
+            coded = self._index_join_codes(parts1, parts2, access)
+            if coded is not None:
+                r1, g1, r2, g2, m = coded
+            else:
+                # gather both sides (row-proportional work), then ONE
+                # global value coding + key intersection across every
+                # combo at once
+                r1 = (np.concatenate([p[0] for p in parts1])
+                      if parts1 else np.empty(0, dtype=np.int64))
+                r2 = (np.concatenate([p[0] for p in parts2])
+                      if parts2 else np.empty(0, dtype=np.int64))
+                v1 = (np.concatenate([self.cache.column(q)[o]
+                                      for _, q, o in parts1])
+                      if parts1 else np.empty(0, dtype=np.str_))
+                v2 = (np.concatenate([self.cache.column(q)[o]
+                                      for _, q, o in parts2])
+                      if parts2 else np.empty(0, dtype=np.str_))
+                uniq, codes = np.unique(np.concatenate([v1, v2]),
+                                        return_inverse=True)
+                m = max(len(uniq), 1)
+                g1, g2 = codes[: len(v1)], codes[len(v1):]
+            k1 = r1 * m + g1
+            k2 = r2 * m + g2
             if op == "=":
                 keep = np.zeros(n, dtype=bool)
                 keep[np.intersect1d(k1, k2) // m] = True
@@ -333,9 +388,11 @@ class _BatchReducer(_SideResolver):
                 cid, cols = self._instantiate(edge, assigns, cid, cols)
             else:
                 if op.kind == "select":
-                    keep = self._select(op_idx, edge, assigns, cid, cols)
+                    keep = self._select(op_idx, edge, assigns, cid, cols,
+                                        op.access)
                 else:
-                    keep = self._join(op_idx, edge, assigns, cid, cols)
+                    keep = self._join(op_idx, edge, assigns, cid, cols,
+                                      op.access)
                 cid = cid[keep]
                 cols = {v: c[keep] for v, c in cols.items()}
         return cid, cols
@@ -362,17 +419,23 @@ class _ComboReducer(_SideResolver):
         return m
 
     def select_keep(self, op_idx: int, sel: ConstEdge, cpath: tuple,
-                    col: np.ndarray) -> np.ndarray:
+                    col: np.ndarray,
+                    access: str = "scan") -> np.ndarray:
         side = self._side(cpath, col, sel.rel)
         if side is None:
             return np.zeros(len(col), dtype=bool)
         qpath, starts, lengths = side
+        vi = self._vindex(qpath, access)
+        if vi is not None:
+            return vindex_select_keep(vi, sel.op, sel.value, starts,
+                                      lengths)
         # one full prefix-sum sweep *per combo* — the cost being benchmarked
         self.ctx.note_pass(self.vdoc, (op_idx, qpath))
         return _existential_keep(self._mask(qpath, sel.op, sel.value),
                                  starts, lengths)
 
-    def join_keep(self, join: EqEdge, n: int, side1, side2) -> np.ndarray:
+    def join_keep(self, join: EqEdge, n: int, side1, side2,
+                  access: str = "scan") -> np.ndarray:
         if side1 is None or side2 is None:
             return np.zeros(n, dtype=bool)
         q1, s1, l1 = side1
@@ -380,6 +443,22 @@ class _ComboReducer(_SideResolver):
         cache = self.cache
         op = join.op
         if op in ("=", "!="):
+            parts1 = [(np.repeat(np.arange(n, dtype=np.int64), l1), q1,
+                       ranges_to_ordinals(s1, l1))]
+            parts2 = [(np.repeat(np.arange(n, dtype=np.int64), l2), q2,
+                       ranges_to_ordinals(s2, l2))]
+            coded = self._index_join_codes(parts1, parts2, access)
+            if coded is not None:
+                r1, g1, r2, g2, m = coded
+                k1 = r1 * m + g1
+                k2 = r2 * m + g2
+                if op == "=":
+                    keep = np.zeros(n, dtype=bool)
+                    keep[np.intersect1d(k1, k2) // m] = True
+                    return keep
+                distinct = np.bincount(
+                    np.unique(np.concatenate([k1, k2])) // m, minlength=n)
+                return (l1 > 0) & (l2 > 0) & (distinct >= 2)
             c1, c2 = cache.column(q1), cache.column(q2)
             if np.all(l1 == 1) and np.all(l2 == 1):
                 # singleton sets on both sides: direct elementwise compare
@@ -450,7 +529,7 @@ class _ComboReducer(_SideResolver):
                     n = len(cols[edge.var])
             elif op.kind == "select":
                 keep = self.select_keep(op_idx, edge, assign[edge.var][0],
-                                        cols[edge.var])
+                                        cols[edge.var], op.access)
                 cols = {v: c[keep] for v, c in cols.items()}
                 n = len(cols[edge.var])
             else:
@@ -458,7 +537,7 @@ class _ComboReducer(_SideResolver):
                                    edge.rel1)
                 side2 = self._side(assign[edge.var2][0], cols[edge.var2],
                                    edge.rel2)
-                keep = self.join_keep(edge, n, side1, side2)
+                keep = self.join_keep(edge, n, side1, side2, op.access)
                 cols = {v: c[keep] for v, c in cols.items()}
                 n = len(cols[edge.var1])
         if n == 0:

@@ -24,6 +24,10 @@ class VectorizedDocument:
         self.root = root
         self.vectors = vectors
         self._catalog = None
+        #: vector path -> value-index handle (anything with ``.distinct``
+        #: and ``.get() -> ValueIndex``); in-memory docs fill it via
+        #: :meth:`build_indexes`, disk docs from the file catalog.
+        self._vindexes: dict[tuple, object] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -41,15 +45,18 @@ class VectorizedDocument:
 
     # -- on-disk format (repro.storage) ------------------------------------
 
-    def save(self, path: str, page_size: int | None = None) -> dict:
+    def save(self, path: str, page_size: int | None = None,
+             index_paths=None) -> dict:
         """Write the document to ``path`` in the paged on-disk format
         (slotted pages; one heap-file chain per vector).  Returns a summary
-        dict (pages, bytes, vectors)."""
+        dict (pages, bytes, vectors).  ``index_paths`` — ``"all"`` or an
+        iterable of vector paths — additionally persists value-index
+        segments for those vectors (format v3)."""
         from ..storage import vdocfile
 
-        if page_size is None:
-            return vdocfile.save_vdoc(self, path)
-        return vdocfile.save_vdoc(self, path, page_size=page_size)
+        kwargs = {} if page_size is None else {"page_size": page_size}
+        return vdocfile.save_vdoc(self, path, index_paths=index_paths,
+                                  **kwargs)
 
     @classmethod
     def open(cls, path: str, pool_pages: int | None = None):
@@ -82,10 +89,45 @@ class VectorizedDocument:
 
     def reset_scan_counts(self) -> None:
         """Open a fresh per-query accounting window: zero the scan counters
-        and mark the current physical page-read level of every vector."""
-        for v in self.vectors.values():
+        and mark the current physical page-read level of every I/O unit."""
+        for v in self.io_units():
             v.scan_count = 0
             v.reset_io_window()
+
+    def io_units(self) -> list:
+        """Everything carrying per-query I/O accounting (``scan_count``,
+        ``pages_read_in_window()``, ``n_pages``): the data vectors, plus —
+        for disk-backed documents — the persistent index segments."""
+        return list(self.vectors.values())
+
+    # -- value indexes -----------------------------------------------------
+
+    def vindex(self, path: tuple):
+        """The :class:`~repro.index.ValueIndex` of one text-path vector,
+        or ``None`` (disk-backed documents materialize lazily here)."""
+        handle = self._vindexes.get(path)
+        return None if handle is None else handle.get()
+
+    def vindex_stats(self, path: tuple) -> dict | None:
+        """Planner-facing statistics of one vector's value index — no
+        page I/O, ``None`` when the vector has no index."""
+        handle = self._vindexes.get(path)
+        return None if handle is None else {"distinct": handle.distinct}
+
+    def build_indexes(self, paths=None) -> list[tuple]:
+        """Build in-memory value indexes for ``paths`` (default: every
+        vector).  Persistent indexes come from
+        ``save(..., index_paths=...)`` instead; this is for memory-resident
+        documents and tests.  Returns the indexed paths."""
+        from ..index import build_value_index
+
+        built = []
+        for p, vec in sorted(self.vectors.items()):
+            if paths is None or p in paths:
+                self._vindexes[p] = build_value_index(p, vec.scan())
+                built.append(p)
+        self.reset_scan_counts()  # index builds are not query scans
+        return built
 
     # -- statistics -------------------------------------------------------
 

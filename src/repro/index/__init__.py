@@ -1,0 +1,20 @@
+"""Value indexes over data vectors: build, probe, (de)serialize."""
+
+from .segment import (N_DATA_RECORDS, N_KEY_RECORDS, check_segment,
+                      decode_segment, encode_segment)
+from .vindex import (ValueIndex, build_value_index, count_in_ranges,
+                     merge_codings, select_keep, value_hash)
+
+__all__ = [
+    "N_DATA_RECORDS",
+    "N_KEY_RECORDS",
+    "ValueIndex",
+    "build_value_index",
+    "check_segment",
+    "count_in_ranges",
+    "decode_segment",
+    "encode_segment",
+    "merge_codings",
+    "select_keep",
+    "value_hash",
+]

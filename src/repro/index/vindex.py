@@ -1,0 +1,261 @@
+"""Value indexes over data vectors ("vindex", paper §6).
+
+One :class:`ValueIndex` accelerates the two hot operations of graph
+reduction over one text-path vector of ``n`` values with ``u`` distinct
+strings:
+
+* **constant selections** — instead of a full-column predicate mask plus
+  prefix sum, a probe returns the sorted row ordinals matching the
+  constant and the per-row existential becomes two ``searchsorted`` calls;
+* **equality joins** — instead of ``np.unique`` over the gathered string
+  values of both sides (a string sort proportional to the row count), the
+  precomputed per-row value codes of each side are remapped into one
+  shared code space by merging the (much smaller, already sorted) key
+  dictionaries — all row-proportional work is integer work.
+
+Structure (all numpy, all derivable from the column alone — the
+persistent form in :mod:`repro.index.segment` stores exactly these
+arrays):
+
+* ``keys``      — the ``u`` distinct values, sorted (``np.unique`` order);
+* ``offsets``/``rows`` — CSR postings: ``rows`` is a permutation of
+  ``arange(n)`` grouped by key code, ascending within each group;
+  ``rows[offsets[c]:offsets[c+1]]`` are the sorted row ordinals holding
+  ``keys[c]``;
+* hash directory — ``n_buckets`` (smallest power of two ≥ ``u``) buckets
+  over ``crc32(key)``; ``bucket_codes`` grouped by bucket via
+  ``bucket_offsets``, so an equality probe is O(bucket) string compares
+  rather than a binary search through ``log u`` string compares;
+* numeric sub-index — the codes of keys that parse as finite floats
+  (through :func:`repro.util.parse_float`, the engine's *single*
+  definition of numeric text), sorted by (value, code); a range probe is
+  two ``searchsorted`` calls over ``num_vals``.
+
+Probes are existentially *identical* to the scan path's
+``pred_mask`` + prefix-sum semantics — NaN text never matches an ordering
+operator, a non-numeric constant matches nothing — which is what lets the
+engine assert byte-identical results between the two access paths.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..util import parse_float
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def value_hash(value: str) -> int:
+    """The directory hash: crc32 of the UTF-8 bytes (stable across runs,
+    platforms and Python processes — unlike ``hash()``)."""
+    return zlib.crc32(str(value).encode("utf-8"))
+
+
+def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[start, start+length)`` ranges without a Python loop."""
+    total = int(lengths.sum())
+    if total == 0:
+        return _EMPTY
+    offs = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.repeat(starts - offs, lengths) + np.arange(total,
+                                                         dtype=np.int64)
+
+
+def count_in_ranges(matches: np.ndarray, starts: np.ndarray,
+                    lengths: np.ndarray) -> np.ndarray:
+    """Per range ``[start, start+length)``: how many of the *sorted*
+    ordinals in ``matches`` fall inside — two searchsorted calls, no
+    full-column pass."""
+    return (np.searchsorted(matches, starts + lengths)
+            - np.searchsorted(matches, starts))
+
+
+class ValueIndex:
+    """The in-memory (and only) probe form of one vector's value index."""
+
+    __slots__ = ("path", "n", "keys", "offsets", "rows", "n_buckets",
+                 "bucket_offsets", "bucket_codes", "num_codes", "num_vals",
+                 "_row_codes")
+
+    def __init__(self, path: tuple, n: int, keys: np.ndarray,
+                 offsets: np.ndarray, rows: np.ndarray, n_buckets: int,
+                 bucket_offsets: np.ndarray, bucket_codes: np.ndarray,
+                 num_codes: np.ndarray, num_vals: np.ndarray):
+        self.path = path
+        self.n = n
+        self.keys = keys
+        self.offsets = offsets
+        self.rows = rows
+        self.n_buckets = n_buckets
+        self.bucket_offsets = bucket_offsets
+        self.bucket_codes = bucket_codes
+        self.num_codes = num_codes
+        self.num_vals = num_vals
+        self._row_codes = None
+
+    @property
+    def distinct(self) -> int:
+        return len(self.keys)
+
+    def get(self) -> "ValueIndex":
+        """Uniform handle interface (disk-backed handles materialize)."""
+        return self
+
+    # -- probes ------------------------------------------------------------
+
+    def row_codes(self) -> np.ndarray:
+        """Key code of every row (built lazily: one integer scatter)."""
+        if self._row_codes is None:
+            counts = np.diff(self.offsets)
+            codes = np.empty(self.n, dtype=np.int64)
+            codes[self.rows] = np.repeat(
+                np.arange(len(self.keys), dtype=np.int64), counts)
+            self._row_codes = codes
+        return self._row_codes
+
+    def code_of(self, value: str) -> int:
+        """The key code of ``value``, or -1 — one hash + O(bucket) string
+        compares."""
+        if not len(self.keys):
+            return -1
+        bucket = value_hash(value) & (self.n_buckets - 1)
+        lo, hi = self.bucket_offsets[bucket], self.bucket_offsets[bucket + 1]
+        for code in self.bucket_codes[lo:hi]:
+            if self.keys[code] == value:
+                return int(code)
+        return -1
+
+    def rows_of_code(self, code: int) -> np.ndarray:
+        return self.rows[self.offsets[code]:self.offsets[code + 1]]
+
+    def eq_rows(self, value: str) -> np.ndarray:
+        """Sorted row ordinals whose value equals ``value`` exactly."""
+        code = self.code_of(value)
+        return _EMPTY if code < 0 else self.rows_of_code(code)
+
+    def rows_of_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Sorted union of the posting lists of ``codes``."""
+        if not len(codes):
+            return _EMPTY
+        lengths = self.offsets[codes + 1] - self.offsets[codes]
+        slots = _concat_ranges(self.offsets[codes], lengths)
+        return np.sort(self.rows[slots])
+
+    def range_rows(self, op: str, const: str) -> np.ndarray | None:
+        """Sorted row ordinals whose *numeric* value satisfies
+        ``value op const`` — ``None`` when the constant itself is not
+        numeric (the scan-path mask is all-False then)."""
+        try:
+            c = parse_float(const)
+        except ValueError:
+            return None
+        if c != c:  # NaN constant: no ordering comparison ever holds
+            return _EMPTY
+        vals = self.num_vals
+        if op == "<":
+            sel = self.num_codes[:np.searchsorted(vals, c, side="left")]
+        elif op == "<=":
+            sel = self.num_codes[:np.searchsorted(vals, c, side="right")]
+        elif op == ">":
+            sel = self.num_codes[np.searchsorted(vals, c, side="right"):]
+        elif op == ">=":
+            sel = self.num_codes[np.searchsorted(vals, c, side="left"):]
+        else:
+            raise ValueError(f"not an ordering operator: {op!r}")
+        return self.rows_of_codes(sel)
+
+
+def select_keep(vi: ValueIndex, op: str, value: str, starts: np.ndarray,
+                lengths: np.ndarray) -> np.ndarray:
+    """Existential keep mask per row range — the index-probe equivalent of
+    ``pred_mask`` + prefix sum, byte-identical by construction."""
+    if op == "=":
+        return count_in_ranges(vi.eq_rows(value), starts, lengths) > 0
+    if op == "!=":
+        # ∃ x ≠ value ⟺ the range holds more values than its `= value` hits
+        return (lengths - count_in_ranges(vi.eq_rows(value), starts,
+                                          lengths)) > 0
+    matches = vi.range_rows(op, value)
+    if matches is None:
+        return np.zeros(len(starts), dtype=bool)
+    return count_in_ranges(matches, starts, lengths) > 0
+
+
+def build_value_index(path: tuple, column) -> ValueIndex:
+    """Build the full index from one materialized column."""
+    col = np.asarray(column, dtype=np.str_)
+    n = len(col)
+    if n:
+        keys, inverse = np.unique(col, return_inverse=True)
+        inverse = inverse.astype(np.int64, copy=False).ravel()
+        counts = np.bincount(inverse,
+                             minlength=len(keys)).astype(np.int64)
+        rows = np.argsort(inverse, kind="stable").astype(np.int64)
+    else:
+        keys = np.empty(0, dtype="<U1")
+        counts, rows = _EMPTY, _EMPTY
+    u = len(keys)
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+    n_buckets = 1 << (u - 1).bit_length() if u else 1
+    hashes = np.fromiter((value_hash(k) & (n_buckets - 1) for k in keys),
+                         dtype=np.int64, count=u)
+    bucket_codes = np.argsort(hashes, kind="stable").astype(np.int64)
+    bcounts = np.bincount(hashes, minlength=n_buckets).astype(np.int64)
+    bucket_offsets = np.concatenate(([0], np.cumsum(bcounts))) \
+        .astype(np.int64)
+
+    ncodes: list[int] = []
+    nvals: list[float] = []
+    for code in range(u):
+        try:
+            v = parse_float(str(keys[code]))
+        except ValueError:
+            continue
+        if v == v:  # NaN text never matches an ordering operator: drop it
+            ncodes.append(code)
+            nvals.append(v)
+    num_codes = np.asarray(ncodes, dtype=np.int64)
+    num_vals = np.asarray(nvals, dtype=np.float64)
+    order = np.lexsort((num_codes, num_vals))
+    return ValueIndex(path, n, keys, offsets, rows, n_buckets,
+                      bucket_offsets, bucket_codes, num_codes[order],
+                      num_vals[order])
+
+
+def merge_codings(indexes: list[ValueIndex]) -> tuple[list[np.ndarray], int]:
+    """Map each index's local key codes into one shared code space.
+
+    Equal strings across indexes always share a code; distinct strings
+    never collide.  Work is proportional to the *dictionaries* (sorted
+    string arrays, merged via searchsorted), never to the row counts —
+    this is what makes the index join cheaper than re-coding the gathered
+    values with ``np.unique``.
+
+    Returns ``(remaps, size)``: one ``local code -> shared code`` array
+    per index, and the shared space size.
+    """
+    remaps: list[np.ndarray] = []
+    coded: list[tuple[np.ndarray, np.ndarray]] = []
+    next_code = 0
+    for vi in indexes:
+        keys = vi.keys
+        remap = np.full(len(keys), -1, dtype=np.int64)
+        for prev_keys, prev_codes in coded:
+            todo = np.flatnonzero(remap < 0)
+            if not len(todo) or not len(prev_keys):
+                continue
+            pos = np.searchsorted(prev_keys, keys[todo])
+            ok = pos < len(prev_keys)
+            hit = np.zeros(len(todo), dtype=bool)
+            hit[ok] = prev_keys[pos[ok]] == keys[todo[ok]]
+            remap[todo[hit]] = prev_codes[pos[hit]]
+        fresh = np.flatnonzero(remap < 0)
+        remap[fresh] = next_code + np.arange(len(fresh), dtype=np.int64)
+        next_code += len(fresh)
+        remaps.append(remap)
+        coded.append((keys, remap))
+    return remaps, next_code

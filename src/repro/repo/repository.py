@@ -25,6 +25,17 @@ XQ query member at a time with a per-member plan, concatenating results
 in (member, document-order) order; a storage failure in one member
 surfaces as a :class:`StorageError` naming that member and leaves the
 pool clean, so sibling members stay queryable.
+
+The catalog is also the repository's **pruning** structure: before a
+member is opened, its cataloged path list is checked against the query
+graph (:func:`repro.core.planner.member_can_match`) — a member holding no
+concrete path for some variable, or no text path for some comparison
+operand, cannot contribute a tuple, so it is skipped with *zero* page
+I/O (the skip list is reported on the result).  Surviving members are
+evaluated most-selective-first (:func:`match_estimate` over the cataloged
+occurrence counts) so small members warm the shared pool before large
+ones; results are reassembled in manifest member order, byte-identical
+to the unpruned evaluation.
 """
 
 from __future__ import annotations
@@ -36,8 +47,12 @@ import tempfile
 
 from ..core.context import EvalContext
 from ..core.engine import XQVXResult, eval_query, eval_xq
+from ..core.planner import match_estimate, member_can_match
 from ..core.qgraph import compile_query
 from ..core.vdoc import VectorizedDocument
+from ..core.xpath.ast import Path
+from ..core.xpath.parser import parse_xpath
+from ..core.xpath.vx_eval import VXResult, _alignments
 from ..core.xquery.ast import XQuery
 from ..core.xquery.parser import parse_xq
 from ..errors import ReproError, StorageError, XQCompileError
@@ -104,11 +119,15 @@ def _check_manifest(raw) -> dict:
 
 class RepoXQResult:
     """A collection query's result: per-member results concatenated in
-    (member, document-order) order under one result root."""
+    (member, document-order) order under one result root.  ``pruned``
+    names the members skipped by catalog pruning (proved empty without
+    any page I/O)."""
 
-    def __init__(self, root_tag: str, results: list[tuple[str, XQVXResult]]):
+    def __init__(self, root_tag: str, results: list[tuple[str, XQVXResult]],
+                 pruned: list[str] | None = None):
         self.root_tag = root_tag
         self.results = results           # [(member name, XQVXResult)]
+        self.pruned = pruned or []       # member names skipped via catalog
         self.n_tuples = sum(r.n_tuples for _, r in results)
 
     def to_xml(self) -> str:
@@ -283,7 +302,25 @@ class Repository:
 
     # -- queries -----------------------------------------------------------
 
-    def xq(self, query: str | XQuery, batched: bool = True) -> RepoXQResult:
+    def _member_order(self, gq) -> tuple[list[str], list[str]]:
+        """Split members into ``(survivors, pruned)`` against the manifest
+        catalog alone — no member is opened.  Survivors come back ordered
+        most-selective-first (catalog occurrence estimate, manifest order
+        breaking ties) so cheap members are evaluated before large ones."""
+        survivors: list[tuple[float, int, str]] = []
+        pruned: list[str] = []
+        for pos, m in enumerate(self.manifest["members"]):
+            counts = {tuple(p): c for p, c in m["paths"]}
+            guide = list(counts)
+            if not member_can_match(gq, guide):
+                pruned.append(m["name"])
+                continue
+            survivors.append((match_estimate(gq, counts), pos, m["name"]))
+        survivors.sort()
+        return [name for _, _, name in survivors], pruned
+
+    def xq(self, query: str | XQuery, batched: bool = True,
+           prune: bool = True, use_indexes: bool = True) -> RepoXQResult:
         """Evaluate an XQ query over every member, in member order.
 
         ``collection("name")`` sources must name this repository; a query
@@ -291,33 +328,54 @@ class Repository:
         repository is the context collection).  Every root variable binds
         within the member under evaluation — there are no cross-member
         tuples, so results are exactly the concatenation of per-member
-        evaluations, interleaved in (member, document-order) order."""
+        evaluations, interleaved in (member, document-order) order.
+
+        ``prune=True`` (default) skips members whose cataloged paths prove
+        them empty for this query — zero page I/O for skipped members —
+        and evaluates survivors most-selective-first; the returned results
+        are reassembled in manifest order either way, so output is
+        byte-identical with pruning on or off."""
         xq = query if isinstance(query, XQuery) else parse_xq(query)
         gq, _ = compile_query(xq)
         if gq.collection is not None and gq.collection != self.name:
             raise XQCompileError(
                 f"query ranges over collection {gq.collection!r} but this "
                 f"repository is {self.name!r}")
+        if prune:
+            order, pruned = self._member_order(gq)
+        else:
+            order, pruned = self.members(), []
         ctx = EvalContext(strict_passes=batched)
-        results: list[tuple[str, XQVXResult]] = []
-        for name in self.members():
+        by_name: dict[str, XQVXResult] = {}
+        for name in order:
             vdoc = self.member(name)
             try:
-                results.append(
-                    (name, eval_xq(vdoc, xq, batched=batched, ctx=ctx)))
+                by_name[name] = eval_xq(vdoc, xq, batched=batched, ctx=ctx,
+                                        use_indexes=use_indexes)
             except StorageError as exc:
                 raise StorageError(f"member {name!r}: {exc}") from exc
-        return RepoXQResult(xq.root_tag, results)
+        results = [(name, by_name[name]) for name in self.members()
+                   if name in by_name]
+        return RepoXQResult(xq.root_tag, results, pruned)
 
-    def xpath(self, query: str) -> list[tuple[str, object]]:
+    def xpath(self, query: str,
+              prune: bool = True) -> list[tuple[str, object]]:
         """Evaluate an XPath over every member; per-member ``VXResult``\\ s
-        in member order."""
+        in member order.  With ``prune=True`` a member whose cataloged
+        paths admit no alignment with the query steps is answered with an
+        empty result straight from the manifest (it is never opened)."""
+        path: Path = parse_xpath(query)
         ctx = EvalContext()
-        out = []
-        for name in self.members():
+        out: list[tuple[str, object]] = []
+        for m in self.manifest["members"]:
+            name = m["name"]
+            if prune and not any(_alignments(path.steps, tuple(p))
+                                 for p, _ in m["paths"]):
+                out.append((name, VXResult(None, [])))
+                continue
             vdoc = self.member(name)
             try:
-                out.append((name, eval_query(vdoc, query, ctx=ctx)))
+                out.append((name, eval_query(vdoc, path, ctx=ctx)))
             except StorageError as exc:
                 raise StorageError(f"member {name!r}: {exc}") from exc
         return out

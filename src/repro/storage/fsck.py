@@ -18,9 +18,19 @@ page/slot location for each.  Checks, in dependency order:
    node count matches the catalog;
 6. vectors: every chain walks acyclically to exactly its cataloged
    length and holds exactly the cataloged number of records;
-7. cross-checks: no page is claimed by two chains.
+7. index segments (format v3): both heap chains of every persisted value
+   index walk to their cataloged lengths, the segment decodes under
+   :func:`repro.index.decode_segment`'s full structural validation
+   (sorted keys, CSR postings, row permutation, power-of-two hash
+   directory, ascending NaN-free numeric sub-index) and passes
+   :func:`repro.index.check_segment`'s semantic checks (hash placement,
+   numeric sub-index vs ``parse_float``), with counts matched against
+   the catalog entry;
+8. cross-checks: no page is claimed by two chains.
 
-``deep`` additionally UTF-8-decodes every vector value and reports pages
+``deep`` additionally UTF-8-decodes every vector value, re-reads each
+indexed column and verifies the index is not **stale** (its postings
+place every row under exactly its value's code), and reports pages
 belonging to no chain (dead space a correct writer never produces) — a
 strict superset of the shallow findings.
 
@@ -37,13 +47,15 @@ import os
 from dataclasses import dataclass
 
 from ..core.skeleton import NodeStore
-from ..errors import StorageError
+from ..errors import CorruptDataError, StorageError
+from ..index import N_DATA_RECORDS, N_KEY_RECORDS, check_segment, \
+    decode_segment
 from . import disk
 from .buffer import BufferPool
 from .disk import FILE_HEADER, PageFile
 from .heap import HeapFile
 from .pages import PAGE_HEADER, SlottedPage, page_crc, stored_crc
-from .vdocfile import VDOC_FORMAT, _check_catalog, _decode_node
+from .vdocfile import _check_catalog, _decode_node
 
 
 @dataclass
@@ -52,7 +64,7 @@ class Finding:
 
     code: str                 # header | size | page-crc | page-structure |
     #                           slot | chain | catalog | skeleton | vector |
-    #                           value | cross | orphan
+    #                           value | index | cross | orphan
     message: str
     page: int | None = None
     slot: int | None = None
@@ -219,7 +231,7 @@ def verify_vdoc(path: str, deep: bool = False) -> list[Finding]:
                     page=meta_page)
             return out.findings
         try:
-            _check_catalog(meta, path, n_pages)  # also rejects format != 2
+            _check_catalog(meta, path, n_pages)  # rejects unknown formats
         except StorageError as exc:
             out.add("catalog", str(exc))
             return out.findings
@@ -283,6 +295,65 @@ def verify_vdoc(path: str, deep: bool = False) -> list[Finding]:
                 if prev != name:
                     out.add("cross", f"page claimed by both {prev} and "
                                      f"vector {name}", page=pid)
+
+        # -- index segments (format v3) ------------------------------------
+        for entry in meta["vectors"]:
+            ix = entry.get("index")
+            if ix is None:
+                continue
+            name = "/".join(entry["path"])
+            kheap = HeapFile(pool, ix["keys_head"],
+                             n_pages=ix["keys_pages"])
+            dheap = HeapFile(pool, ix["data_head"],
+                             n_pages=ix["data_pages"])
+            walked = True
+            for what, heap, n_exp in (
+                    (f"index keys of {name}", kheap, N_KEY_RECORDS),
+                    (f"index data of {name}", dheap, N_DATA_RECORDS)):
+                pages = _walk_chain(out, "index", what, heap, heap.n_pages,
+                                    n_exp, deep=False)
+                if pages is None:
+                    walked = False
+                    continue
+                for pid in pages:
+                    prev = claimed.setdefault(pid, what)
+                    if prev != what:
+                        out.add("cross", f"page claimed by both {prev} "
+                                         f"and {what}", page=pid)
+            if not walked:
+                continue
+            try:
+                keys = list(kheap.records())
+                data = list(dheap.records())
+            except StorageError:
+                continue  # the walk above already reported it
+            try:
+                vi = decode_segment(tuple(entry["path"]), entry["n"],
+                                    keys, data)
+            except CorruptDataError as exc:
+                out.add("index", str(exc), page=ix["keys_head"])
+                continue
+            if vi.distinct != ix["distinct"]:
+                out.add("index",
+                        f"vindex {name}: catalog says {ix['distinct']} "
+                        f"distinct keys, segment holds {vi.distinct}")
+            if vi.n_buckets != ix["buckets"]:
+                out.add("index",
+                        f"vindex {name}: catalog says {ix['buckets']} "
+                        f"buckets, segment holds {vi.n_buckets}")
+            column = None
+            if deep:
+                vheap = HeapFile(pool, entry["head"],
+                                 n_pages=entry["pages"])
+                try:
+                    column = [r.decode("utf-8") for r in vheap.records()]
+                except (StorageError, UnicodeDecodeError):
+                    column = None  # reported by the vector sweep above
+                else:
+                    if len(column) != entry["n"]:
+                        column = None
+            for msg in check_segment(vi, column):
+                out.add("index", f"vindex {name}: {msg}")
 
         # -- orphans (deep): pages no chain accounts for -------------------
         if deep:

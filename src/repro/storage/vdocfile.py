@@ -45,13 +45,19 @@ from ..core.skeleton import NodeStore
 from ..core.vdoc import VectorizedDocument
 from ..core.vectors import Vector
 from ..errors import CorruptDataError, StorageError
+from ..index import build_value_index, decode_segment, encode_segment
 from . import faults
 from .buffer import BufferPool
 from .disk import PageFile
 from .heap import HeapFile
 from .pages import DEFAULT_PAGE_SIZE
 
-VDOC_FORMAT = 2
+#: current write format: v3 = v2 + optional per-vector value-index
+#: segments (two extra heap chains per indexed vector, announced by an
+#: ``"index"`` object on the vector's catalog entry).  v2 files — no
+#: ``"index"`` entries — still open and query unchanged.
+VDOC_FORMAT = 3
+VDOC_FORMATS = (2, 3)
 
 _RUN = struct.Struct("<qq")
 
@@ -135,6 +141,73 @@ class LazyVector(Vector):
         self._floats = None
 
 
+class DiskValueIndex:
+    """Lazy handle over one vector's persistent value-index segment.
+
+    Mirrors :class:`LazyVector`'s contract for a pair of heap chains: no
+    page of either chain is touched until the first :meth:`get`, which
+    materializes (and structurally validates) the
+    :class:`~repro.index.ValueIndex` through the buffer pool in one
+    sequential pass per chain and charges the physical reads here.  The
+    handle carries the same per-query I/O counters as a vector —
+    ``vdoc.io_units()`` includes it, so the engine's scan-once /
+    bounded-physical-I/O assertions cover index probes too.  ``distinct``
+    comes from the catalog: the planner prices a probe without I/O.
+    """
+
+    __slots__ = ("path", "vpath", "distinct", "n_buckets", "scan_count",
+                 "pages_read", "n_pages", "_io_baseline", "_keys_heap",
+                 "_data_heap", "_n", "_vi")
+
+    def __init__(self, vpath: tuple, n: int, entry: dict, view):
+        self.vpath = vpath
+        #: diagnostic path: distinguishes the segment from its vector in
+        #: invariant-violation messages
+        self.path = (*vpath, "[vindex]")
+        self.distinct = entry["distinct"]
+        self.n_buckets = entry["buckets"]
+        self._keys_heap = HeapFile(view, entry["keys_head"],
+                                   n_pages=entry["keys_pages"])
+        self._data_heap = HeapFile(view, entry["data_head"],
+                                   n_pages=entry["data_pages"])
+        self._n = n
+        self._vi = None
+        self.scan_count = 0
+        self.pages_read = 0
+        self.n_pages = entry["keys_pages"] + entry["data_pages"]
+        self._io_baseline = 0
+
+    def get(self):
+        """The probe-able index, materialized on first use."""
+        if self._vi is None:
+            pool = self._keys_heap.pool
+            before = pool.stats.pages_read
+            keys = list(self._keys_heap.records())
+            data = list(self._data_heap.records())
+            self.pages_read += pool.stats.pages_read - before
+            self.scan_count += 1
+            vi = decode_segment(self.vpath, self._n, keys, data)
+            if vi.distinct != self.distinct:
+                raise CorruptDataError(
+                    f"vindex {'/'.join(self.vpath)}: catalog says "
+                    f"{self.distinct} distinct keys, segment holds "
+                    f"{vi.distinct}")
+            self._vi = vi
+        return self._vi
+
+    def is_loaded(self) -> bool:
+        return self._vi is not None
+
+    def drop_cache(self) -> None:
+        self._vi = None
+
+    def reset_io_window(self) -> None:
+        self._io_baseline = self.pages_read
+
+    def pages_read_in_window(self) -> int:
+        return self.pages_read - self._io_baseline
+
+
 class DiskVectorizedDocument(VectorizedDocument):
     """A :class:`VectorizedDocument` whose vectors are disk-backed.
 
@@ -166,10 +239,18 @@ class DiskVectorizedDocument(VectorizedDocument):
         stats["pinned"] = self.pool.pinned_total()
         return stats
 
+    def io_units(self) -> list:
+        """Vectors plus persistent index segments — every disk-backed
+        structure the engine's I/O invariants must cover."""
+        return list(self.vectors.values()) + list(self._vindexes.values())
+
     def drop_caches(self) -> None:
-        """Forget every materialized column (buffer pool left as is)."""
+        """Forget every materialized column and index (buffer pool left
+        as is)."""
         for vec in self.vectors.values():
             vec.drop_cache()
+        for handle in self._vindexes.values():
+            handle.drop_cache()
 
     def close(self) -> None:
         self.file.close()
@@ -181,17 +262,53 @@ class DiskVectorizedDocument(VectorizedDocument):
         self.close()
 
 
-def _write_vdoc(vdoc: VectorizedDocument, file: PageFile) -> dict:
+def _resolve_index_paths(vdoc: VectorizedDocument, index_paths) -> set:
+    """Normalize the ``index_paths`` argument to a set of vector paths."""
+    if index_paths is None:
+        return set()
+    if index_paths == "all":
+        return set(vdoc.vectors)
+    resolved = {tuple(p) for p in index_paths}
+    unknown = resolved - set(vdoc.vectors)
+    if unknown:
+        raise StorageError(
+            "no such vector(s) to index: "
+            + ", ".join(sorted("/".join(p) for p in unknown)))
+    return resolved
+
+
+def _write_vdoc(vdoc: VectorizedDocument, file: PageFile,
+                index_paths=None) -> dict:
     """Write the heaps + catalog into ``file`` and return the meta dict."""
     pool = BufferPool(file, capacity=None)  # writer: keep all resident
+    indexed = _resolve_index_paths(vdoc, index_paths)
     catalog = []
     for vpath in sorted(vdoc.vectors):
         vec = vdoc.vectors[vpath]
+        values = vec.tolist()
         heap = HeapFile.create(pool)
-        for value in vec.tolist():
+        for value in values:
             heap.append(value.encode("utf-8"))
-        catalog.append({"path": list(vpath), "n": len(vec),
-                        "head": heap.head, "pages": heap.n_pages})
+        entry = {"path": list(vpath), "n": len(vec),
+                 "head": heap.head, "pages": heap.n_pages}
+        if vpath in indexed:
+            # the segment is built from the very values just written, so
+            # index and vector can never disagree within one save
+            vi = build_value_index(vpath, np.asarray(values, dtype=np.str_))
+            key_records, data_records = encode_segment(vi)
+            kheap = HeapFile.create(pool)
+            for record in key_records:
+                kheap.append(record)
+            dheap = HeapFile.create(pool)
+            for record in data_records:
+                dheap.append(record)
+            entry["index"] = {
+                "keys_head": kheap.head, "keys_pages": kheap.n_pages,
+                "data_head": dheap.head, "data_pages": dheap.n_pages,
+                "distinct": int(vi.distinct),
+                "buckets": int(vi.n_buckets),
+            }
+        catalog.append(entry)
     store = vdoc.store
     skel = HeapFile.create(pool)
     for nid in range(len(store)):
@@ -211,9 +328,12 @@ def _write_vdoc(vdoc: VectorizedDocument, file: PageFile) -> dict:
 
 
 def save_vdoc(vdoc: VectorizedDocument, path: str,
-              page_size: int = DEFAULT_PAGE_SIZE) -> dict:
+              page_size: int = DEFAULT_PAGE_SIZE,
+              index_paths=None) -> dict:
     """Atomically write ``vdoc`` to ``path`` in the paged on-disk format;
-    returns a summary (pages, bytes, vector count).
+    returns a summary (pages, bytes, vector count).  ``index_paths``
+    (``"all"`` or an iterable of vector paths) additionally builds and
+    persists value-index segments for those vectors.
 
     The document is written to a temp file in the same directory, fsynced,
     then renamed over ``path`` (``os.replace``) with a directory fsync —
@@ -228,7 +348,7 @@ def save_vdoc(vdoc: VectorizedDocument, path: str,
     try:
         file = PageFile.create(tmp, page_size)
         try:
-            meta = _write_vdoc(vdoc, file)
+            meta = _write_vdoc(vdoc, file, index_paths=index_paths)
             file.flush()
             summary = {
                 "path": path,
@@ -238,6 +358,10 @@ def save_vdoc(vdoc: VectorizedDocument, path: str,
                 "vectors": len(meta["vectors"]),
                 "values": sum(e["n"] for e in meta["vectors"]),
                 "skeleton_nodes": meta["n_nodes"],
+                "indexes": sum(1 for e in meta["vectors"] if "index" in e),
+                "index_pages": sum(
+                    e["index"]["keys_pages"] + e["index"]["data_pages"]
+                    for e in meta["vectors"] if "index" in e),
             }
             file.sync_close()  # flush + fsync + close: durable before rename
         except BaseException:
@@ -270,7 +394,7 @@ def _check_catalog(meta, path: str, n_pages: int) -> None:
     catalog must fail here, not as a ``TypeError`` deep in a chain walk."""
     if not isinstance(meta, dict):
         raise CorruptDataError(f"{path}: vdoc catalog is not a JSON object")
-    if meta.get("format") != VDOC_FORMAT:
+    if meta.get("format") not in VDOC_FORMATS:
         raise StorageError(
             f"{path}: unsupported vdoc format {meta.get('format')!r}")
     _req_int(meta.get("root"), "root node id", lo=1)
@@ -294,11 +418,38 @@ def _check_catalog(meta, path: str, n_pages: int) -> None:
             raise CorruptDataError(
                 f"{path}: vector entry path {vpath!r} is not a list of "
                 f"labels")
-        _req_int(entry.get("n"), f"value count of {'/'.join(vpath)}", lo=0)
+        n = _req_int(entry.get("n"), f"value count of {'/'.join(vpath)}",
+                     lo=0)
         _req_int(entry.get("head"), f"head page of {'/'.join(vpath)}",
                  lo=0, hi=n_pages)
         _req_int(entry.get("pages"), f"chain length of {'/'.join(vpath)}",
                  lo=1, hi=n_pages + 1)
+        ix = entry.get("index")
+        if ix is None:
+            continue
+        name = "/".join(vpath)
+        if meta.get("format") == 2:
+            raise CorruptDataError(
+                f"{path}: v2 catalog carries an index entry for {name}")
+        if not isinstance(ix, dict):
+            raise CorruptDataError(
+                f"{path}: index entry of {name} is not an object")
+        _req_int(ix.get("keys_head"), f"index keys head of {name}",
+                 lo=0, hi=n_pages)
+        _req_int(ix.get("keys_pages"), f"index keys chain of {name}",
+                 lo=1, hi=n_pages + 1)
+        _req_int(ix.get("data_head"), f"index data head of {name}",
+                 lo=0, hi=n_pages)
+        _req_int(ix.get("data_pages"), f"index data chain of {name}",
+                 lo=1, hi=n_pages + 1)
+        _req_int(ix.get("distinct"), f"index key count of {name}",
+                 lo=0, hi=n + 1)
+        buckets = _req_int(ix.get("buckets"), f"index bucket count of {name}",
+                           lo=1)
+        if buckets & (buckets - 1):
+            raise CorruptDataError(
+                f"{path}: index bucket count of {name} ({buckets}) is not "
+                f"a power of two")
 
 
 def open_vdoc(path: str, pool_pages: int | None = None,
@@ -366,12 +517,18 @@ def open_vdoc(path: str, pool_pages: int | None = None,
                 f"({len(store)} nodes)")
 
         vectors: dict[tuple, LazyVector] = {}
+        vindexes: dict[tuple, DiskValueIndex] = {}
         for entry in meta["vectors"]:
             vpath = tuple(entry["path"])
             heap = HeapFile(view, entry["head"], n_pages=entry["pages"])
             vectors[vpath] = LazyVector(vpath, entry["n"], heap)
-        return DiskVectorizedDocument(store, meta["root"], vectors, pool, file,
-                                      view=view)
+            if "index" in entry:
+                vindexes[vpath] = DiskValueIndex(vpath, entry["n"],
+                                                 entry["index"], view)
+        doc = DiskVectorizedDocument(store, meta["root"], vectors, pool, file,
+                                     view=view)
+        doc._vindexes = vindexes
+        return doc
     except BaseException:
         file.abort()  # never write back to a file we failed to open
         raise

@@ -1,0 +1,105 @@
+"""The benchmark regression gate: passes on stable speedups, fails on a
+geomean regression beyond tolerance, and treats disjoint record sets as
+an error rather than a silent pass."""
+
+import json
+import pathlib
+import sys
+
+BENCHMARKS = str(pathlib.Path(__file__).resolve().parent.parent
+                 / "benchmarks")
+if BENCHMARKS not in sys.path:
+    sys.path.insert(0, BENCHMARKS)
+
+import gate  # noqa: E402
+
+
+def _payload(sel_speedup, join_speedup, batched_speedup=3.0):
+    return {
+        "records": [
+            {"query": "XQ1", "n_people": 100, "speedup": sel_speedup},
+            {"query": "XQ3", "n_people": 100, "speedup": join_speedup},
+        ],
+        "batched_regime": {"records": [
+            {"n_people": 200, "n_regions": 16, "speedup": batched_speedup},
+        ]},
+        "indexed_regime": {"records": [
+            {"query": "IXQ1", "n_people": 2000, "speedup": sel_speedup},
+        ]},
+    }
+
+
+def _write(tmp_path, name, payload):
+    p = tmp_path / name
+    p.write_text(json.dumps(payload), encoding="utf-8")
+    return str(p)
+
+
+def _run(tmp_path, fresh, baseline, extra=()):
+    return gate.main([_write(tmp_path, "fresh.json", fresh),
+                      _write(tmp_path, "base.json", baseline), *extra])
+
+
+def test_identical_payloads_pass(tmp_path, capsys):
+    p = _payload(10.0, 5.0)
+    assert _run(tmp_path, p, p) == 0
+    out = capsys.readouterr().out
+    assert "gate: ok" in out and "ratio  1.00" in out
+
+
+def test_mild_jitter_within_tolerance_passes(tmp_path):
+    assert _run(tmp_path, _payload(9.0, 4.6), _payload(10.0, 5.0)) == 0
+
+
+def test_regression_beyond_tolerance_fails(tmp_path, capsys):
+    assert _run(tmp_path, _payload(5.0, 2.5), _payload(10.0, 5.0)) == 1
+    assert "regressed" in capsys.readouterr().err
+
+
+def test_one_sided_collapse_fails_on_geomean(tmp_path):
+    # one record collapsing 4x drags the geomean under the floor even
+    # though the others are flat
+    assert _run(tmp_path, _payload(10.0, 1.0, 3.0),
+                _payload(10.0, 5.0, 3.0)) == 1
+
+
+def test_tolerance_flag_loosens_the_floor(tmp_path):
+    fresh, base = _payload(5.0, 2.5), _payload(10.0, 5.0)
+    assert _run(tmp_path, fresh, base) == 1
+    assert _run(tmp_path, fresh, base, extra=["--tolerance", "0.6"]) == 0
+
+
+def test_disjoint_records_fail_loudly(tmp_path, capsys):
+    fresh = _payload(10.0, 5.0)
+    base = json.loads(json.dumps(fresh))
+    for rec in base["records"]:
+        rec["n_people"] = 999  # renamed sweep: no common keys
+    base["batched_regime"]["records"] = []
+    base["indexed_regime"]["records"] = []
+    assert _run(tmp_path, fresh, base) == 1
+    assert "no common records" in capsys.readouterr().err
+
+
+def test_non_finite_speedups_are_skipped_not_compared(tmp_path):
+    fresh, base = _payload(10.0, 5.0), _payload(10.0, 5.0)
+    fresh["records"][1]["speedup"] = float("inf")
+    base["records"][1]["speedup"] = 0.0
+    assert _run(tmp_path, fresh, base) == 0  # remaining records carry it
+
+
+def test_unreadable_payload_is_exit_2(tmp_path):
+    missing = str(tmp_path / "nope.json")
+    assert gate.main([missing, missing]) == 2
+
+
+def test_committed_baseline_self_gates():
+    """The committed BENCH_xq.json must pass against itself — guards the
+    payload shape the CI step depends on."""
+    committed = pathlib.Path(BENCHMARKS).parent / "BENCH_xq.json"
+    payload = json.loads(committed.read_text("utf-8"))
+    lines, ratios = gate.compare(payload, payload)
+    assert ratios and all(r == 1.0 for r in ratios)
+    # every regime must contribute at least one record
+    assert any(line.lstrip().startswith("indexed") for line in lines)
+    assert any(line.lstrip().startswith("reduction") for line in lines)
+    assert any(line.lstrip().startswith("batched") for line in lines)

@@ -1,0 +1,110 @@
+"""Repository catalog pruning: members the manifest proves empty are
+skipped with zero page I/O, survivors are evaluated
+most-selective-first, and results stay byte-identical with pruning on or
+off (XQ and XPath)."""
+
+import pytest
+
+from repro.core.qgraph import compile_query
+from repro.core.xquery.parser import parse_xq
+from repro.datasets.synth import xmark_like_xml
+from repro.repo.repository import Repository
+
+XQ = ("for $p in /site/people/person where $p/profile/age > '30' "
+      "return <r>{$p/name}{$p/profile/age}</r>")
+XQ_JOIN = ("for $c in /site/closed_auctions/closed_auction, "
+           "$p in /site/people/person where $c/buyer = $p/@id "
+           "return <pair>{$p/name}{$c/price}</pair>")
+XPATH = "/site/people/person/name"
+
+
+def _store_xml(n, seed):
+    """Same synthetic shape, different vocabulary: no path aligns with
+    /site queries."""
+    xml = xmark_like_xml(n, seed=seed)
+    return xml.replace("<site>", "<store>", 1).replace("</site>", "</store>")
+
+
+@pytest.fixture()
+def repo(tmp_path):
+    """Two matching members (sizes 25 and 8) and two that cannot match."""
+    specs = [("big", xmark_like_xml(25, seed=1)),
+             ("small", xmark_like_xml(8, seed=2)),
+             ("noise0", _store_xml(10, 3)),
+             ("noise1", _store_xml(5, 4))]
+    for name, xml in specs:
+        (tmp_path / f"{name}.xml").write_text(xml, encoding="utf-8")
+    with Repository.init(str(tmp_path / "r.repo"), name="r",
+                         pool_pages=32) as repo:
+        for name, _ in specs:
+            repo.add(str(tmp_path / f"{name}.xml"), page_size=512)
+        yield repo
+
+
+def test_pruned_members_cost_zero_pages(repo):
+    result = repo.xq(XQ)
+    assert sorted(result.pruned) == ["noise0", "noise1"]
+    stats = repo.io_stats()
+    for name in ("noise0", "noise1"):
+        # a pruned member is never even opened, let alone read
+        assert name not in repo._open
+        assert stats.get(f"{name}.pages_read", 0) == 0
+    for name in ("big", "small"):
+        assert stats[f"{name}.pages_read"] > 0
+
+
+def test_pruning_preserves_bytes(repo):
+    for query in (XQ, XQ_JOIN):
+        assert repo.xq(query).to_xml() == \
+            repo.xq(query, prune=False).to_xml()
+
+
+def test_results_come_back_in_manifest_order(repo):
+    result = repo.xq(XQ)
+    assert [name for name, _ in result.results] == ["big", "small"]
+
+
+def test_survivors_ordered_most_selective_first(repo):
+    gq, _ = compile_query(parse_xq(XQ))
+    order, pruned = repo._member_order(gq)
+    # "small" (8 people) has the lower occurrence estimate: goes first
+    assert order == ["small", "big"]
+    assert sorted(pruned) == ["noise0", "noise1"]
+
+
+def test_all_members_survive_a_universal_query(repo):
+    gq, _ = compile_query(parse_xq(
+        "for $p in //person return <r>{$p/name}</r>"))
+    order, pruned = repo._member_order(gq)
+    assert pruned == [] and sorted(order) == ["big", "noise0", "noise1",
+                                              "small"]
+    # the noise members *do* hold //person paths under their own root
+    result = repo.xq("for $p in //person return <r>{$p/name}</r>")
+    assert result.pruned == []
+
+
+def test_selection_path_absence_prunes(repo):
+    """A member whose dataguide lacks the selection's text path cannot
+    satisfy the conjunction — pruned even though the variable binds."""
+    result = repo.xq("for $p in //person where $p/bogus = 'x' "
+                     "return <r>{$p/name}</r>")
+    assert sorted(result.pruned) == ["big", "noise0", "noise1", "small"]
+    assert result.results == []
+
+
+def test_xpath_pruning_skips_unalignable_members(repo):
+    results = dict(repo.xpath(XPATH))
+    assert results["noise0"].count() == 0
+    assert results["noise1"].count() == 0
+    assert "noise0" not in repo._open and "noise1" not in repo._open
+    assert results["big"].count() == 25
+    # identical answers with pruning disabled
+    full = dict(repo.xpath(XPATH, prune=False))
+    assert {n: r.count() for n, r in results.items()} == \
+        {n: r.count() for n, r in full.items()}
+    assert results["big"].canonical() == full["big"].canonical()
+
+
+def test_pruned_xq_member_count_matches(repo):
+    result = repo.xq(XQ_JOIN)
+    assert len(result.results) + len(result.pruned) == 4

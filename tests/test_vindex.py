@@ -1,0 +1,226 @@
+"""Value-index unit tests: probe semantics against naive references,
+segment encode/decode roundtrip, and the decoder's structural validation
+(every tampered record fails as ``CorruptDataError``, never as a wrong
+probe answer)."""
+
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptDataError
+from repro.index import N_DATA_RECORDS, N_KEY_RECORDS
+from repro.index.segment import check_segment, decode_segment, encode_segment
+from repro.index.vindex import (
+    ValueIndex,
+    build_value_index,
+    merge_codings,
+    select_keep,
+    value_hash,
+)
+from repro.util import parse_float
+
+VPATH = ("db", "rec", "a", "#")
+
+
+def _column(rng, n):
+    vocab = ["alpha", "beta", "näme", "7", "-3.5", "0", "12e1",
+             "nan", "inf", "name 3", "7.0", "zz top"]
+    return [rng.choice(vocab) for _ in range(n)]
+
+
+def _naive_eq(col, value):
+    return [i for i, v in enumerate(col) if v == value]
+
+
+def _naive_range(col, op, const):
+    try:
+        c = parse_float(const)
+    except ValueError:
+        return None
+    out = []
+    for i, v in enumerate(col):
+        try:
+            x = parse_float(v)
+        except ValueError:
+            continue
+        if x != x or c != c:
+            continue
+        if (op == "<" and x < c) or (op == "<=" and x <= c) or \
+                (op == ">" and x > c) or (op == ">=" and x >= c):
+            out.append(i)
+    return out
+
+
+def test_probes_match_naive_reference():
+    rng = random.Random(7)
+    col = _column(rng, 200)
+    vi = build_value_index(VPATH, col)
+    assert vi.n == 200
+    assert list(vi.keys) == sorted(set(col))
+    # eq probes, in- and out-of-vocabulary
+    for value in set(col) | {"missing", "", "name 4"}:
+        assert vi.eq_rows(value).tolist() == _naive_eq(col, value)
+    # range probes over numeric and non-numeric constants
+    for op in ("<", "<=", ">", ">="):
+        for const in ("7", "-3.5", "0", "120", "999", "nan"):
+            got = vi.range_rows(op, const)
+            want = _naive_range(col, op, const)
+            assert sorted(got.tolist()) == want, (op, const)
+        assert vi.range_rows(op, "not a number") is None
+
+
+def test_row_codes_is_the_inverse_coding():
+    col = _column(random.Random(3), 64)
+    vi = build_value_index(VPATH, col)
+    codes = vi.row_codes()
+    assert [str(vi.keys[c]) for c in codes] == col
+
+
+def test_code_of_uses_the_hash_directory():
+    col = _column(random.Random(5), 50)
+    vi = build_value_index(VPATH, col)
+    for code, key in enumerate(vi.keys):
+        assert vi.code_of(str(key)) == code
+        bucket = value_hash(str(key)) & (vi.n_buckets - 1)
+        lo, hi = vi.bucket_offsets[bucket], vi.bucket_offsets[bucket + 1]
+        assert code in vi.bucket_codes[lo:hi]
+    assert vi.code_of("no such key") == -1
+
+
+def test_select_keep_matches_scan_mask():
+    rng = random.Random(11)
+    col = _column(rng, 120)
+    vi = build_value_index(VPATH, col)
+    # random row ranges standing in for per-tuple extension ranges
+    starts, lengths = [], []
+    pos = 0
+    while pos < len(col):
+        ln = rng.randint(0, 4)
+        starts.append(pos)
+        lengths.append(min(ln, len(col) - pos))
+        pos += max(ln, 1)
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    for op, const in [("=", "7"), ("=", "missing"), ("!=", "alpha"),
+                      (">", "0"), ("<=", "-3.5"), (">=", "bogus")]:
+        keep = select_keep(vi, op, const, starts, lengths)
+        for k, (s, ln) in enumerate(zip(starts, lengths)):
+            window = col[s:s + ln]
+            if op == "=":
+                want = any(v == const for v in window)
+            elif op == "!=":
+                want = any(v != const for v in window)
+            else:
+                rows = _naive_range(col, op, const) or []
+                want = any(s <= r < s + ln for r in rows)
+            assert bool(keep[k]) == want, (op, const, k)
+
+
+def test_empty_and_single_value_columns():
+    empty = build_value_index(VPATH, [])
+    assert empty.n == 0 and empty.distinct == 0
+    assert empty.eq_rows("x").tolist() == []
+    assert empty.range_rows(">", "1").tolist() == []
+    one = build_value_index(VPATH, ["only"] * 5)
+    assert one.distinct == 1
+    assert one.eq_rows("only").tolist() == [0, 1, 2, 3, 4]
+
+
+def test_numeric_subindex_excludes_nan_and_text():
+    vi = build_value_index(VPATH, ["nan", "abc", "2", "10", "-1"])
+    numeric = {str(vi.keys[c]) for c in vi.num_codes}
+    assert numeric == {"2", "10", "-1"}
+    assert np.all(np.diff(vi.num_vals) >= 0)
+
+
+def test_merge_codings_shares_codes_for_equal_strings():
+    a = build_value_index(VPATH, ["x", "y", "z"])
+    b = build_value_index(VPATH, ["y", "z", "w"])
+    remaps, size = merge_codings([a, b])
+    shared = {str(k): remaps[0][c] for c, k in enumerate(a.keys)}
+    other = {str(k): remaps[1][c] for c, k in enumerate(b.keys)}
+    assert shared["y"] == other["y"] and shared["z"] == other["z"]
+    all_codes = set(shared.values()) | set(other.values())
+    assert len(all_codes) == size == 4  # w x y z
+
+
+# -- persistent segment ----------------------------------------------------
+
+
+def _roundtrip(col):
+    vi = build_value_index(VPATH, col)
+    keys, data = encode_segment(vi)
+    assert len(keys) == N_KEY_RECORDS and len(data) == N_DATA_RECORDS
+    return vi, decode_segment(VPATH, vi.n, keys, data)
+
+
+def test_segment_roundtrip_preserves_every_array():
+    vi, back = _roundtrip(_column(random.Random(2), 90))
+    assert list(back.keys) == list(vi.keys)
+    for attr in ("offsets", "rows", "bucket_offsets", "bucket_codes",
+                 "num_codes", "num_vals"):
+        assert np.array_equal(getattr(back, attr), getattr(vi, attr)), attr
+    assert back.n_buckets == vi.n_buckets
+    assert check_segment(back) == []
+
+
+def test_segment_roundtrip_empty_column():
+    vi, back = _roundtrip([])
+    assert back.n == 0 and back.distinct == 0
+    assert check_segment(back) == []
+
+
+# fixture column: 6 rows, keys {"42", "7", "a", "b", "c"} (u=5, two
+# numeric), key itemsize 8 (<U2) — the byte counts below depend on it
+@pytest.mark.parametrize("mutate, msg", [
+    (lambda k, d: (k, d[:-1]), "data records"),
+    (lambda k, d: (k[:1], d), "key stream"),
+    (lambda k, d: (k, [b"\x00" * 8] + d[1:]), "malformed header"),
+    (lambda k, d: (k, [struct.pack("<qqq", 99, 5, 8)] + d[1:]),
+     "header says"),
+    (lambda k, d: (k, [struct.pack("<qqq", 6, 5, 3)] + d[1:]),
+     "power of two"),
+    (lambda k, d: ([struct.pack("<q", 6), k[1]], d), "key buffer"),
+    (lambda k, d: ([k[0], k[1][:-4]], d), "key buffer"),
+    (lambda k, d: ([k[0], b"\x00\xd8\x00\x00" * 10], d),
+     "invalid code points"),
+    (lambda k, d: (k, d[:1] + [d[1][::-1]] + d[2:]), "CSR"),
+    (lambda k, d: (k, d[:2] + [d[2][:8] * (len(d[2]) // 8)] + d[3:]),
+     "permutation"),
+    (lambda k, d: (k, d[:4] + [d[4][:8] * (len(d[4]) // 8)] + d[5:]),
+     "bucket codes"),
+    (lambda k, d: (k, d[:5] + [d[5] + b"\x00" * 8] + d[6:]),
+     "disagree in length"),
+    (lambda k, d: (k, d[:6] + [d[6][::-1]]), "ascending"),
+])
+def test_decoder_rejects_tampered_records(mutate, msg):
+    vi = build_value_index(VPATH, ["b", "a", "c", "a", "7", "42"])
+    keys, data = encode_segment(vi)
+    keys, data = mutate(list(keys), list(data))
+    with pytest.raises(CorruptDataError, match=msg):
+        decode_segment(VPATH, vi.n, keys, data)
+
+
+def test_decoder_rejects_unsorted_keys():
+    vi = build_value_index(VPATH, ["a", "b", "c"])
+    # swap two keys in the raw buffer: still valid text, wrong order
+    swapped = ValueIndex(VPATH, vi.n, vi.keys[::-1].copy(), vi.offsets,
+                         vi.rows, vi.n_buckets, vi.bucket_offsets,
+                         vi.bucket_codes, vi.num_codes, vi.num_vals)
+    keys, data = encode_segment(swapped)
+    with pytest.raises(CorruptDataError, match="strictly increasing"):
+        decode_segment(VPATH, vi.n, keys, data)
+
+
+def test_check_segment_flags_stale_index():
+    col = ["x", "y", "x", "z"]
+    vi = build_value_index(VPATH, col)
+    assert check_segment(vi, col) == []
+    # a value the dictionary has never seen
+    assert any("stale" in p for p in check_segment(vi, ["x", "y", "x", "q"]))
+    # same dictionary, permuted rows: postings disagree with the vector
+    assert any("stale" in p for p in check_segment(vi, ["y", "x", "x", "z"]))
+    assert any("rows" in p or "holds" in p
+               for p in check_segment(vi, ["x", "y", "x"]))
