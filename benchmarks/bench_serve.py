@@ -1,0 +1,378 @@
+#!/usr/bin/env python
+"""Serve benchmark: sustained concurrent throughput of ``repro-xq serve``.
+
+A temporary repository (XMark-like members, value indexes built at save
+time) is served by a real ``repro-xq serve`` subprocess and measured two
+ways:
+
+**Identity.**  Every workload query is answered once by a ``--workers 1``
+server, once by a ``--workers 16`` server under 16 truly concurrent
+clients, and once in-process through :class:`repro.repo.Repository` (the
+code path behind ``repro-xq repo query``).  All three must be
+byte-identical — concurrency must never change an answer.
+
+**Throughput.**  Closed-loop clients with *think time*: each of N
+clients repeatedly sends a query, waits for the answer, then sleeps
+``T`` seconds, where ``T = THINK_FACTOR x`` the measured warm sequential
+service time.  Per-client demand is therefore ~``1/(T+s)`` QPS and the
+aggregate scales with N while total utilisation stays below one core —
+so the reported ``speedup`` (``QPS_N / QPS_1``) measures what a server
+must provide to concurrent users: *latency overlap* (admission, pool
+sharing, per-request isolation all working under concurrency), not CPU
+parallelism.  The think factor makes the ratio machine-independent — T
+is derived from the same machine's own service time, so a uniformly
+slower machine scales both sides and cancels — which is what lets
+``gate.py`` compare these speedups across CI runners.  A zero-think
+16-client burst is also reported (``capacity_qps``) as the raw
+saturation throughput, informational only.
+
+Asserted on a full run (not ``--smoke``): byte-identity everywhere,
+``speedup`` at 16 clients >= MIN_SPEEDUP_16 (4x), zero pin leaks and
+zero pinned pages in the server's own /stats after every phase.
+Results go to BENCH_serve.json.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import math
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro import __version__  # noqa: E402
+from repro.core.vdoc import VectorizedDocument  # noqa: E402
+from repro.datasets.synth import xmark_like_xml  # noqa: E402
+from repro.repo import Repository  # noqa: E402
+from repro.storage.vdocfile import save_vdoc  # noqa: E402
+
+#: think time per closed-loop client, as a multiple of the measured warm
+#: sequential service time — keeps 16-client demand well under one core
+THINK_FACTOR = 24.0
+#: required QPS scaling at 16 clients vs 1 (acceptance floor)
+MIN_SPEEDUP_16 = 4.0
+CLIENT_COUNTS = (1, 4, 16)
+
+#: the served workload: (endpoint, query) pairs cycled by every client
+WORKLOAD = [
+    ("/xq",
+     "for $p in /site/people/person where $p/profile/age >= '60' "
+     "return <r>{$p/name}</r>"),
+    ("/xq",
+     "for $p in /site/people/person where $p/name = 'name 7' "
+     "and $p/emailaddress = 'mailto:person7@example.com' "
+     "return <r>{$p/phone}</r>"),
+    ("/xq",
+     "for $c in /site/closed_auctions/closed_auction, "
+     "$p in /site/people/person where $c/buyer = $p/@id "
+     "and $p/profile/age > '40' return <pair>{$p/name}{$c/price}</pair>"),
+    ("/xpath", "/site/people/person/name"),
+    ("/xpath", "//item/location"),
+]
+
+
+# -- repository + server plumbing -----------------------------------------
+
+def build_repo(workdir: str, member_sizes: list[int]) -> str:
+    """A repository of indexed XMark-like members; returns its path."""
+    repo_dir = os.path.join(workdir, "repo")
+    repo = Repository.init(repo_dir, "bench")
+    for i, n_people in enumerate(member_sizes):
+        vdoc = VectorizedDocument.from_xml(
+            xmark_like_xml(n_people, seed=100 + i))
+        path = os.path.join(workdir, f"m{i}.vdoc")
+        save_vdoc(vdoc, path, index_paths="all")
+        repo.add(path, name=f"m{i}")
+    repo.close()
+    return repo_dir
+
+
+class Server:
+    """A ``repro-xq serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, repo_dir: str, workers: int, pool: int):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", repo_dir,
+             "--port", "0", "--workers", str(workers), "--pool", str(pool)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": SRC}, text=True)
+        line = self.proc.stdout.readline()
+        m = re.search(r"http://([\d.]+):(\d+)", line)
+        if not m:
+            self.proc.kill()
+            raise RuntimeError(f"no address in startup line: {line!r}")
+        self.host, self.port = m.group(1), int(m.group(2))
+
+    def stats(self) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        try:
+            conn.request("GET", "/stats")
+            return json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+
+    def stop(self) -> dict:
+        """SIGTERM, wait, parse the final-stats stderr line."""
+        self.proc.send_signal(signal.SIGTERM)
+        _, err = self.proc.communicate(timeout=60)
+        if self.proc.returncode != 0:
+            raise RuntimeError(
+                f"server exited {self.proc.returncode}:\n{err}")
+        m = re.search(r"serve: final stats (.*)", err)
+        return json.loads(m.group(1)) if m else {}
+
+
+class Client:
+    """One keep-alive HTTP connection issuing workload queries."""
+
+    def __init__(self, host: str, port: int):
+        self.conn = http.client.HTTPConnection(host, port, timeout=60)
+
+    def query(self, endpoint: str, body: str) -> bytes:
+        self.conn.request("POST", endpoint, body=body.encode("utf-8"))
+        resp = self.conn.getresponse()
+        data = resp.read()
+        if resp.status != 200:
+            raise RuntimeError(f"{endpoint} -> {resp.status}: "
+                               f"{data[:200]!r}")
+        return data
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+# -- phases ----------------------------------------------------------------
+
+def expected_bodies(repo_dir: str) -> list[bytes]:
+    """The workload's answers through the Repository API — the same code
+    path (and the same bytes) as ``repro-xq repo query`` stdout."""
+    out = []
+    with Repository.open(repo_dir) as repo:
+        for endpoint, query in WORKLOAD:
+            if endpoint == "/xq":
+                out.append((repo.xq(query).to_xml() + "\n").encode())
+            else:
+                lines = [f"{name}: count {res.count()}"
+                         for name, res in repo.xpath(query)]
+                out.append(("\n".join(lines) + "\n").encode())
+    return out
+
+
+def check_identity(repo_dir: str, expected: list[bytes], pool: int,
+                   n_clients: int = 16) -> None:
+    """1-worker sequential and 16-worker concurrent servers must both
+    reproduce the in-process answers byte for byte."""
+    srv = Server(repo_dir, workers=1, pool=pool)
+    try:
+        cli = Client(srv.host, srv.port)
+        for (endpoint, query), want in zip(WORKLOAD, expected):
+            got = cli.query(endpoint, query)
+            assert got == want, f"1-worker answer diverges on {query!r}"
+        cli.close()
+    finally:
+        final = srv.stop()
+    assert final["pin_leaks"] == 0 and final["pool"]["pinned"] == 0
+
+    srv = Server(repo_dir, workers=16, pool=pool)
+    failures: list[str] = []
+
+    def worker(idx: int) -> None:
+        cli = Client(srv.host, srv.port)
+        try:
+            for off in range(len(WORKLOAD)):
+                k = (idx + off) % len(WORKLOAD)
+                endpoint, query = WORKLOAD[k]
+                if cli.query(endpoint, query) != expected[k]:
+                    failures.append(f"client {idx}: {query!r}")
+        except Exception as exc:  # noqa: BLE001 - reported below
+            failures.append(f"client {idx}: {exc}")
+        finally:
+            cli.close()
+
+    try:
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        final = srv.stop()
+    assert not failures, f"concurrent answers diverged: {failures[:3]}"
+    assert final["pin_leaks"] == 0 and final["pool"]["pinned"] == 0
+    print(f"identity: {len(WORKLOAD)} queries byte-identical "
+          f"(in-process == 1 worker == 16 workers x {n_clients} clients)")
+
+
+def closed_loop(srv: Server, n_clients: int, n_requests: int,
+                think_s: float) -> dict:
+    """Run the closed loop; returns QPS + client-side latency quantiles +
+    server-side pool deltas."""
+    before = srv.stats()
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    errors: list[str] = []
+
+    def worker(idx: int) -> None:
+        cli = Client(srv.host, srv.port)
+        try:
+            for r in range(n_requests):
+                endpoint, query = WORKLOAD[(idx + r) % len(WORKLOAD)]
+                t0 = time.perf_counter()
+                cli.query(endpoint, query)
+                latencies[idx].append(time.perf_counter() - t0)
+                if think_s:
+                    time.sleep(think_s)
+        except Exception as exc:  # noqa: BLE001 - reported below
+            errors.append(f"client {idx}: {exc}")
+        finally:
+            cli.close()
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n_clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError(f"closed loop failed: {errors[:3]}")
+    after = srv.stats()
+
+    flat = sorted(x for per in latencies for x in per)
+    d_hits = after["pool"]["hits"] - before["pool"]["hits"]
+    d_miss = after["pool"]["misses"] - before["pool"]["misses"]
+    return {
+        "n_clients": n_clients,
+        "requests": n_clients * n_requests,
+        "elapsed_s": elapsed,
+        "qps": n_clients * n_requests / elapsed,
+        "p50_ms": flat[len(flat) // 2] * 1e3,
+        "p99_ms": flat[min(len(flat) - 1,
+                           math.ceil(len(flat) * 0.99) - 1)] * 1e3,
+        "hit_rate": d_hits / (d_hits + d_miss) if d_hits + d_miss else 1.0,
+        "pin_leaks": after["pin_leaks"],
+        "pinned": after["pool"]["pinned"],
+    }
+
+
+def run(member_sizes: list[int], pool: int, target_run_s: float,
+        out_path: str, do_assert: bool) -> int:
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as workdir:
+        print(f"building repository (members: {member_sizes} people, "
+              f"indexed)")
+        repo_dir = build_repo(workdir, member_sizes)
+        expected = expected_bodies(repo_dir)
+        check_identity(repo_dir, expected, pool)
+
+        srv = Server(repo_dir, workers=16, pool=pool)
+        try:
+            # warm the pool, then measure the sequential service time the
+            # think time is derived from
+            cli = Client(srv.host, srv.port)
+            for endpoint, query in WORKLOAD:
+                cli.query(endpoint, query)
+            t0 = time.perf_counter()
+            rounds = 3
+            for r in range(rounds):
+                for endpoint, query in WORKLOAD:
+                    cli.query(endpoint, query)
+            service_s = (time.perf_counter() - t0) / (rounds * len(WORKLOAD))
+            cli.close()
+            think_s = max(0.02, THINK_FACTOR * service_s)
+            n_requests = max(8, min(120, math.ceil(
+                target_run_s / (think_s + service_s))))
+            print(f"warm service time {service_s * 1e3:.1f}ms -> think "
+                  f"{think_s * 1e3:.0f}ms, {n_requests} requests/client")
+
+            runs = []
+            for n in CLIENT_COUNTS:
+                r = closed_loop(srv, n, n_requests, think_s)
+                runs.append(r)
+                print(f"  {n:2d} client(s): {r['qps']:7.2f} qps  "
+                      f"p50 {r['p50_ms']:6.1f}ms  p99 {r['p99_ms']:6.1f}ms  "
+                      f"hit-rate {r['hit_rate']:.3f}")
+                if do_assert:
+                    assert r["pin_leaks"] == 0, "server reported pin leaks"
+                    assert r["pinned"] == 0, "pages left pinned after run"
+
+            capacity = closed_loop(srv, 16, n_requests, think_s=0.0)
+            print(f"  capacity (16 clients, zero think): "
+                  f"{capacity['qps']:7.2f} qps  "
+                  f"p99 {capacity['p99_ms']:6.1f}ms")
+        finally:
+            final = srv.stop()
+        assert final["pin_leaks"] == 0 and final["pool"]["pinned"] == 0, \
+            "server final stats report leaked/pinned pages"
+
+        qps_1 = runs[0]["qps"]
+        records = []
+        for r in runs[1:]:
+            records.append({**r, "qps_1": qps_1,
+                            "speedup": r["qps"] / qps_1,
+                            "think_s": think_s})
+            print(f"  {r['n_clients']:2d}-client scaling: "
+                  f"{r['qps'] / qps_1:5.2f}x over 1 client")
+
+        payload = {
+            "bench": "serve_concurrent_throughput",
+            "version": __version__,
+            "member_sizes": member_sizes,
+            "pool_pages": pool,
+            "workload": [q for _, q in WORKLOAD],
+            "think_factor": THINK_FACTOR,
+            "serve_regime": {
+                "records": records,
+                "runs": runs,
+                "capacity_qps_16": capacity["qps"],
+                "threshold": MIN_SPEEDUP_16,
+            },
+            "final_stats": final,
+        }
+        pathlib.Path(out_path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out_path}")
+
+        speedup_16 = records[-1]["speedup"]
+        if do_assert and speedup_16 < MIN_SPEEDUP_16:
+            print(f"FAIL: expected 16-client throughput >= "
+                  f"{MIN_SPEEDUP_16:.0f}x the single-client QPS, got "
+                  f"{speedup_16:.2f}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny members + short runs for CI (no scaling "
+                         "assertion)")
+    ap.add_argument("--pool", type=int, default=512,
+                    help="server buffer pool size in pages "
+                         "(default %(default)s)")
+    ap.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent /
+        "BENCH_serve.json"))
+    ap.add_argument("--no-assert", action="store_true")
+    args = ap.parse_args(argv)
+
+    member_sizes = [25, 25, 40] if args.smoke else [100, 100, 160]
+    target_run_s = 1.0 if args.smoke else 2.5
+    do_assert = not (args.no_assert or args.smoke)
+    return run(member_sizes, args.pool, target_run_s, args.out, do_assert)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,10 @@ REGIMES = {
     "reduction": (("records",), ("query", "n_people")),
     "batched": (("batched_regime", "records"), ("n_people", "n_regions")),
     "indexed": (("indexed_regime", "records"), ("query", "n_people")),
+    # bench_serve.py: ``speedup`` is QPS at n_clients over single-client
+    # QPS in the same closed-loop (think-time) run — a machine-relative
+    # ratio like the others, so it gates across runners too
+    "serve": (("serve_regime", "records"), ("n_clients",)),
 }
 
 

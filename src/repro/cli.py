@@ -16,6 +16,7 @@ Subcommands::
     repro-xq repo add DIR FILE [--name N]    add an XML or .vdoc member
     repro-xq repo ls DIR                     members + path catalog summary
     repro-xq repo query DIR QUERY [--pool N] [--io-stats] [--per-combo]
+    repro-xq serve DIR [--port P] [--pool N] [--workers W]
 
 ``FILE`` may be XML text or a saved ``.vdoc`` page file (sniffed by
 magic); vdoc inputs are opened disk-backed through a buffer pool of
@@ -25,6 +26,9 @@ also when the query fails, so a corrupted run still shows what it read.
 
 ``repo query`` evaluates over every member of a repository through one
 shared buffer pool; XQ queries may source from ``collection("name")``.
+``serve`` keeps a repository resident and answers the same queries over
+HTTP (``POST /xq``, ``POST /xpath``, ``GET /stats`` ...) from concurrent
+worker threads sharing that pool — see :mod:`repro.serve`.
 
 ``query`` dispatches on the query text: a leading ``/`` is an XPath of
 P[*,//]; anything else is an XQ FLWR expression (``for .. where ..
@@ -290,6 +294,33 @@ def main(argv: list[str] | None = None) -> int:
                          help="forbid index probes (plan every op as a "
                               "scan)")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a repository over HTTP (POST /xq, POST /xpath, "
+             "GET /repo, GET /stats, GET /healthz) with concurrent "
+             "workers over one shared buffer pool")
+    p_serve.add_argument("dir")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="bind port; 0 picks a free port, printed in "
+                              "the startup line (default 8000)")
+    p_serve.add_argument("--pool", type=int, default=None,
+                         help="shared buffer pool size in pages "
+                              "(default: unbounded)")
+    p_serve.add_argument("--workers", type=int, default=8,
+                         help="max concurrently evaluating queries; "
+                              "additionally capped from the pool capacity "
+                              "(default 8)")
+    p_serve.add_argument("--queue", type=int, default=64,
+                         help="admission wait-queue length; excess "
+                              "requests get HTTP 503 (default 64)")
+    p_serve.add_argument("--queue-timeout", type=float, default=2.0,
+                         help="max seconds a request waits for a free "
+                              "slot before HTTP 503 (default 2.0)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each request line on stderr")
+
     args = ap.parse_args(argv)
     try:
         if args.cmd == "stats":
@@ -376,6 +407,10 @@ def main(argv: list[str] | None = None) -> int:
             return _index_cmd(args)
         elif args.cmd == "repo":
             return _repo_cmd(args)
+        elif args.cmd == "serve":
+            from .serve import run_serve
+
+            return run_serve(args)
     except BrokenPipeError:
         # downstream consumer (head, etc.) closed the pipe — not an error
         devnull = os.open(os.devnull, os.O_WRONLY)

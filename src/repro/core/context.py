@@ -128,11 +128,20 @@ class EvalContext:
     # -- invariant checks ----------------------------------------------------
 
     def check_pins(self) -> None:
-        """Zero leaked buffer-pool pins, pool-wide — asserted even when a
-        query fails, so corrupt on-disk data surfaces as a StorageError
-        with the pool intact and reusable, not as a poisoned pool."""
+        """Zero leaked buffer-pool pins — asserted even when a query
+        fails, so corrupt on-disk data surfaces as a StorageError with the
+        pool intact and reusable, not as a poisoned pool.
+
+        The check is *per request*: a query runs start to finish on one
+        thread, and the pool accounts pins per thread
+        (:meth:`~repro.storage.buffer.BufferPool.pinned_local`), so the
+        assertion holds concurrently — other requests' transient pins on
+        the shared pool do not trip it, and this request cannot hide a
+        leak behind them.  Single-threaded, it is exactly the old
+        pool-wide check."""
         for pool in self.pools():
-            pinned = pool.pinned_total()
+            local = getattr(pool, "pinned_local", None)
+            pinned = local() if local is not None else pool.pinned_total()
             if pinned:
                 raise EngineInvariantError(
                     f"{pinned} buffer-pool page pin(s) leaked by the query"

@@ -10,6 +10,7 @@ invariant rather than a comment.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 from ..errors import DecompressionForbiddenError
@@ -19,19 +20,25 @@ from .skeleton import NodeStore, TEXT_LABEL
 #: Total number of skeleton decompressions performed (test/bench hook).
 DECOMPRESSION_COUNT = 0
 
-_FORBID_DEPTH = 0
+# The guard depth is *per thread*: one server request evaluating inside
+# forbid_decompression() must not make an unrelated thread's (legal)
+# result-tree reconstruction raise.
+_FORBID = threading.local()
+
+
+def _forbid_depth() -> int:
+    return getattr(_FORBID, "depth", 0)
 
 
 @contextmanager
 def forbid_decompression():
     """Raise :class:`DecompressionForbiddenError` on any reconstruction
-    attempted inside this context."""
-    global _FORBID_DEPTH
-    _FORBID_DEPTH += 1
+    attempted inside this context (on this thread)."""
+    _FORBID.depth = _forbid_depth() + 1
     try:
         yield
     finally:
-        _FORBID_DEPTH -= 1
+        _FORBID.depth -= 1
 
 
 def reconstruct(store: NodeStore, root_id: int, vectors) -> Element:
@@ -42,7 +49,7 @@ def reconstruct(store: NodeStore, root_id: int, vectors) -> Element:
     right exactly once, so the whole pass is linear in the output tree.
     """
     global DECOMPRESSION_COUNT
-    if _FORBID_DEPTH:
+    if _forbid_depth():
         raise DecompressionForbiddenError(
             "skeleton decompression attempted inside forbid_decompression()"
         )

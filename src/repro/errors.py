@@ -33,6 +33,21 @@ class StorageError(ReproError):
     (every frame pinned), or pin/unpin misuse."""
 
 
+class PoolExhaustedError(StorageError):
+    """Every buffer-pool frame holds a pinned page, so nothing can be
+    evicted to make room.  This is *overload*, not corruption: admission
+    control sheds load (HTTP 503) on it instead of treating it as a broken
+    file.  Carries ``capacity`` (frame count) and ``pinned`` (total pin
+    count across those frames) for the error report."""
+
+    def __init__(self, capacity: int, pinned: int):
+        super().__init__(
+            f"buffer pool exhausted: all {capacity} frames pinned "
+            f"({pinned} pins held)")
+        self.capacity = capacity
+        self.pinned = pinned
+
+
 class CorruptDataError(StorageError):
     """On-disk bytes failed validation: a page checksum mismatch, a slot
     entry pointing outside its page, a broken heap chain, an undecodable

@@ -44,6 +44,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 
 from ..core.context import EvalContext
 from ..core.engine import XQVXResult, eval_query, eval_xq
@@ -148,6 +149,15 @@ class Repository:
         self.manifest = manifest
         self.pool = pool
         self._open: dict[str, object] = {}    # name -> DiskVectorizedDocument
+        # Concurrency (repro.serve): lazy opens are serialized by
+        # ``_open_lock``; each member additionally gets an *evaluation
+        # lock* — a query's per-member accounting window (scan counters,
+        # physical-I/O deltas, lazy column/index materialization) lives on
+        # the shared document object, so at most one request evaluates a
+        # given member at a time.  Different members evaluate concurrently
+        # over the shared pool; page-level safety is the pool's job.
+        self._open_lock = threading.Lock()
+        self._eval_locks: dict[str, threading.Lock] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -184,9 +194,11 @@ class Repository:
                    BufferPool(capacity=pool_pages, verify=verify))
 
     def close(self) -> None:
-        for vdoc in self._open.values():
+        with self._open_lock:
+            docs = list(self._open.values())
+            self._open.clear()
+        for vdoc in docs:
             vdoc.close()
-        self._open.clear()
 
     def __enter__(self) -> "Repository":
         return self
@@ -287,18 +299,29 @@ class Repository:
         return name
 
     def member(self, name: str):
-        """The named member, opened lazily over the shared pool."""
-        vdoc = self._open.get(name)
-        if vdoc is None:
-            entry = self._entry(name)
-            path = os.path.join(self.dirpath, entry["file"])
-            try:
-                vdoc = open_vdoc(path, pool=self.pool)
-            except (OSError, StorageError) as exc:
-                raise StorageError(
-                    f"member {name!r} ({entry['file']}): {exc}") from exc
-            self._open[name] = vdoc
+        """The named member, opened lazily over the shared pool (safe to
+        call from concurrent request threads; the open itself is
+        serialized so a member is never opened twice)."""
+        with self._open_lock:
+            vdoc = self._open.get(name)
+            if vdoc is None:
+                entry = self._entry(name)
+                path = os.path.join(self.dirpath, entry["file"])
+                try:
+                    vdoc = open_vdoc(path, pool=self.pool)
+                except (OSError, StorageError) as exc:
+                    raise StorageError(
+                        f"member {name!r} ({entry['file']}): {exc}") from exc
+                self._open[name] = vdoc
         return vdoc
+
+    def member_eval_lock(self, name: str) -> threading.Lock:
+        """The per-member evaluation lock (created on first use)."""
+        with self._open_lock:
+            lock = self._eval_locks.get(name)
+            if lock is None:
+                lock = self._eval_locks[name] = threading.Lock()
+        return lock
 
     # -- queries -----------------------------------------------------------
 
@@ -350,8 +373,10 @@ class Repository:
         for name in order:
             vdoc = self.member(name)
             try:
-                by_name[name] = eval_xq(vdoc, xq, batched=batched, ctx=ctx,
-                                        use_indexes=use_indexes)
+                with self.member_eval_lock(name):
+                    by_name[name] = eval_xq(vdoc, xq, batched=batched,
+                                            ctx=ctx,
+                                            use_indexes=use_indexes)
             except StorageError as exc:
                 raise StorageError(f"member {name!r}: {exc}") from exc
         results = [(name, by_name[name]) for name in self.members()
@@ -375,7 +400,8 @@ class Repository:
                 continue
             vdoc = self.member(name)
             try:
-                out.append((name, eval_query(vdoc, path, ctx=ctx)))
+                with self.member_eval_lock(name):
+                    out.append((name, eval_query(vdoc, path, ctx=ctx)))
             except StorageError as exc:
                 raise StorageError(f"member {name!r}: {exc}") from exc
         return out

@@ -1,0 +1,36 @@
+"""``repro.serve`` — a long-lived concurrent query service.
+
+The paper's premise is *repositories queried by many users*; this package
+is the serving face of the reproduction: a stdlib-only HTTP server
+(``ThreadingHTTPServer``, no new dependencies) over one resident
+:class:`~repro.repo.Repository` whose members share a single
+concurrency-safe :class:`~repro.storage.buffer.BufferPool`.
+
+Layers (one module each):
+
+* :mod:`repro.serve.metrics` — lock-protected per-endpoint counters and
+  log-bucketed latency histograms (p50/p99), served as JSON from
+  ``GET /stats`` and logged on graceful shutdown;
+* :mod:`repro.serve.admission` — admission control: a max-in-flight
+  semaphore sized from the buffer pool's capacity plus a bounded wait
+  queue; overload surfaces as HTTP 503 with ``Retry-After`` instead of
+  pinning the pool into :class:`~repro.errors.PoolExhaustedError`;
+* :mod:`repro.serve.server` — the endpoints (``POST /xq``,
+  ``POST /xpath``, ``GET /repo``, ``GET /stats``, ``GET /healthz``),
+  per-request :class:`~repro.core.context.EvalContext` isolation, and the
+  ``repro-xq serve`` entry point.
+"""
+
+from .admission import AdmissionController, OverloadError, size_inflight
+from .metrics import LatencyHistogram, Metrics
+from .server import QueryServer, run_serve
+
+__all__ = [
+    "AdmissionController",
+    "LatencyHistogram",
+    "Metrics",
+    "OverloadError",
+    "QueryServer",
+    "run_serve",
+    "size_inflight",
+]

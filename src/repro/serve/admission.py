@@ -1,0 +1,124 @@
+"""Admission control: bound what the buffer pool is asked to carry.
+
+Every in-flight query holds a small number of transient page pins (heap
+scans pin one page at a time, a fault-in adds one more), so unbounded
+concurrency over a bounded pool eventually pins every frame and faults
+with :class:`~repro.errors.PoolExhaustedError` mid-query.  The admission
+layer makes that impossible in steady state: at most ``max_inflight``
+queries evaluate at once, sized so their worst-case pins still leave the
+clock sweep an evictable frame (:func:`size_inflight`); excess requests
+wait in a *bounded* queue and are shed with HTTP 503 + ``Retry-After``
+when the queue is full or the wait times out — overload degrades into
+fast, explicit rejections instead of deadlock or corruption-shaped
+errors.
+
+The controller is a plain condition variable, FIFO-fair enough for a
+query service: waiters are woken together and race for the freed slot;
+the bounded queue keeps the race small.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+#: pin headroom budgeted per admitted query: a heap scan holds one pinned
+#: page, stitching a fragmented record briefly overlaps two, and a
+#: concurrent fault-in reserves one more — 4 leaves slack so the clock
+#: always finds an unpinned victim.
+PINS_PER_QUERY = 4
+
+
+def size_inflight(workers: int, pool_capacity: int | None) -> int:
+    """Max concurrently evaluating queries for a pool of
+    ``pool_capacity`` frames: the configured worker count, capped so
+    worst-case transient pins (``PINS_PER_QUERY`` each) can never pin
+    every frame.  An unbounded pool imposes no cap."""
+    workers = max(1, workers)
+    if pool_capacity is None:
+        return workers
+    return max(1, min(workers, pool_capacity // PINS_PER_QUERY))
+
+
+class OverloadError(Exception):
+    """The service is at capacity: queue full or queue wait timed out.
+    ``retry_after`` is the hint (seconds) for the HTTP 503 header."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """``max_inflight`` concurrent slots + a bounded wait queue."""
+
+    def __init__(self, max_inflight: int, max_queue: int = 64,
+                 queue_timeout: float = 2.0):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        # monotonic totals for /stats
+        self._admitted = 0
+        self._rejected_full = 0
+        self._rejected_timeout = 0
+
+    @contextmanager
+    def admit(self):
+        """Hold one in-flight slot for the duration of the block.
+
+        Raises :class:`OverloadError` immediately when the wait queue is
+        full, or after ``queue_timeout`` seconds without a freed slot."""
+        with self._cond:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._admitted += 1
+            elif self._queued >= self.max_queue:
+                self._rejected_full += 1
+                raise OverloadError(
+                    f"at capacity: {self._inflight} in flight, "
+                    f"{self._queued} queued (queue limit {self.max_queue})",
+                    retry_after=self.queue_timeout)
+            else:
+                self._queued += 1
+                try:
+                    deadline = threading.TIMEOUT_MAX \
+                        if self.queue_timeout is None else self.queue_timeout
+                    got = self._cond.wait_for(
+                        lambda: self._inflight < self.max_inflight,
+                        timeout=deadline)
+                    if not got:
+                        self._rejected_timeout += 1
+                        raise OverloadError(
+                            f"queued {self.queue_timeout:.1f}s without a "
+                            f"free slot ({self._inflight} in flight)",
+                            retry_after=self.queue_timeout)
+                    self._inflight += 1
+                    self._admitted += 1
+                finally:
+                    self._queued -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._inflight -= 1
+                self._cond.notify()
+
+    def depth(self) -> dict:
+        """Live queue/slot occupancy + monotonic admission totals."""
+        with self._cond:
+            return {
+                "in_flight": self._inflight,
+                "queued": self._queued,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "admitted": self._admitted,
+                "rejected_queue_full": self._rejected_full,
+                "rejected_timeout": self._rejected_timeout,
+            }

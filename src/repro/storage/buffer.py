@@ -23,14 +23,42 @@ physical page-read counts, not just against in-memory scan counters.
 Pin/unpin is strict accounting: a pinned frame is never evicted, unpinning
 below zero raises, and the engine asserts ``pinned_total() == 0`` after
 every query — a leaked pin is a bug, not a warning.
+
+Concurrency (the ``repro.serve`` substrate).  The pool is safe to share
+across threads:
+
+* one **pool lock** protects the frame table, the clock, and every
+  counter;
+* a page being faulted in by one thread is entered into the table as a
+  *loading* frame with a per-frame condition latch (bound to the pool
+  lock); a second reader of the same page **blocks on the latch** instead
+  of issuing a duplicate physical read — the pool never faults the same
+  page twice concurrently;
+* physical I/O happens *outside* the pool lock (the loading frame keeps
+  the slot reserved), so a fault-in never blocks unrelated hits;
+* eviction runs entirely under the pool lock and never touches a frame
+  latch: a victim is by definition unpinned and fully loaded, so there is
+  nothing to wait for — the lock hierarchy is strictly
+  ``pool lock -> frame latch`` and the write-back of a dirty victim
+  completes before the frame leaves the table (no stale re-read window);
+* pin counts are additionally accounted **per thread**
+  (:meth:`BufferPool.pinned_local`): a request served on one thread must
+  end with a net pin delta of zero even while other threads hold transient
+  pins, which is what lets the engine machine-check "zero leaked pins" per
+  request, concurrently;
+* when every frame is pinned, :class:`~repro.errors.PoolExhaustedError`
+  (carrying capacity and pin counts) is raised instead of a generic
+  storage error, so admission control can shed load rather than mistake
+  overload for corruption.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from ..errors import StorageError
+from ..errors import PoolExhaustedError, StorageError
 from .disk import PageFile
 
 
@@ -44,6 +72,13 @@ class IOStats:
     misses: int = 0           # pins that had to read
     evictions: int = 0        # frames reclaimed by the clock
 
+    def hit_rate(self) -> float:
+        """Fraction of pins served without a physical read (0.0 when no
+        pin has happened yet) — the warm-pool signal ``/stats`` and the
+        serve benchmark report."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def as_dict(self) -> dict:
         return {
             "pages_read": self.pages_read,
@@ -51,15 +86,21 @@ class IOStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate(), 4),
         }
 
 
 @dataclass
 class _Frame:
-    buf: bytearray
+    buf: bytearray | None
     pin_count: int = 0
     ref: bool = True          # clock reference bit
     dirty: bool = field(default=False)
+    #: being faulted in: the slot is reserved, ``buf`` not yet valid
+    loading: bool = field(default=False)
+    #: latch for readers arriving while ``loading`` (bound to the pool
+    #: lock; created only when the frame is admitted via a fault-in)
+    cond: threading.Condition | None = field(default=None)
 
 
 class FileView:
@@ -125,6 +166,9 @@ class BufferPool:
         self._frames: dict[tuple[int, int], _Frame] = {}
         self._clock: list[tuple[int, int]] = []   # resident keys, clock order
         self._hand = 0
+        self._lock = threading.Lock()             # frame table + counters
+        self._tlocal = threading.local()          # per-thread net pin delta
+        self._closed = False
         if file is not None:
             self.attach(file)
 
@@ -132,8 +176,9 @@ class BufferPool:
 
     def attach(self, file: PageFile) -> FileView:
         """Share this pool with ``file``; returns its per-file view."""
-        view = FileView(self, len(self._views), file)
-        self._views.append(view)
+        with self._lock:
+            view = FileView(self, len(self._views), file)
+            self._views.append(view)
         return view
 
     def views(self) -> list[FileView]:
@@ -148,45 +193,102 @@ class BufferPool:
     def page_size(self) -> int:
         return self._views[0].file.page_size
 
+    # -- per-thread pin accounting ------------------------------------------
+
+    def _note_pin(self, delta: int) -> None:
+        t = self._tlocal
+        t.pins = getattr(t, "pins", 0) + delta
+
+    def pinned_local(self) -> int:
+        """Net pin delta of the *calling thread* (pins minus unpins).
+
+        A query runs start to finish on one thread, so this is the
+        per-request face of the zero-leaked-pins invariant: it must be 0
+        after the request even while concurrent requests on other threads
+        legitimately hold transient pins (``pinned_total`` would count
+        those too)."""
+        return getattr(self._tlocal, "pins", 0)
+
     # -- pinning -----------------------------------------------------------
 
     def pin_at(self, fid: int, pid: int) -> bytearray:
-        """Fix page ``pid`` of file ``fid`` in memory; return its buffer."""
+        """Fix page ``pid`` of file ``fid`` in memory; return its buffer.
+
+        Concurrent pins of the same non-resident page coalesce: the first
+        thread faults the page in, later threads wait on the frame latch
+        and are then served as hits — never a duplicate physical read."""
         view = self._views[fid]
         key = (fid, pid)
-        frame = self._frames.get(key)
-        if frame is not None:
-            self.stats.hits += 1
-            view.stats.hits += 1
-            frame.pin_count += 1
-            frame.ref = True
-            return frame.buf
-        self.stats.misses += 1
-        view.stats.misses += 1
-        self._make_room()
-        buf = bytearray(view.file.read_page(pid, verify=self.verify))
-        self.stats.pages_read += 1
-        view.stats.pages_read += 1
-        self._admit(key, buf)
+        with self._lock:
+            while True:
+                frame = self._frames.get(key)
+                if frame is None:
+                    break
+                if not frame.loading:
+                    self.stats.hits += 1
+                    view.stats.hits += 1
+                    frame.pin_count += 1
+                    frame.ref = True
+                    self._note_pin(+1)
+                    return frame.buf
+                # another thread is faulting this page in: wait on its
+                # latch (releases the pool lock), then re-check — the load
+                # may have failed or the frame may even have been evicted,
+                # in which case this thread retries the fault itself
+                frame.cond.wait()
+            # miss: reserve the slot *before* the physical read so a
+            # second reader blocks on the latch instead of double-faulting
+            self.stats.misses += 1
+            view.stats.misses += 1
+            self._make_room()
+            frame = _Frame(None, pin_count=1, loading=True,
+                           cond=threading.Condition(self._lock))
+            self._frames[key] = frame
+            self._clock.append(key)
+            self._note_pin(+1)
+        try:
+            # physical I/O outside the pool lock: hits on other pages
+            # proceed while this page loads
+            buf = bytearray(view.file.read_page(pid, verify=self.verify))
+        except BaseException:
+            with self._lock:
+                self._note_pin(-1)
+                del self._frames[key]
+                self._clock_remove(key)
+                frame.loading = False
+                frame.cond.notify_all()   # waiters retry (and fail the same)
+            raise
+        with self._lock:
+            frame.buf = buf
+            frame.loading = False
+            self.stats.pages_read += 1
+            view.stats.pages_read += 1
+            frame.cond.notify_all()
         return buf
 
     def new_page_at(self, fid: int) -> tuple[int, bytearray]:
         """Allocate a fresh page in file ``fid``, returned pinned (dirty,
         zeroed) — no physical read for pages that never existed."""
         view = self._views[fid]
-        self._make_room()
-        pid = view.file.allocate()
-        buf = bytearray(view.file.page_size)
-        frame = self._admit((fid, pid), buf)
-        frame.dirty = True
+        with self._lock:
+            self._make_room()
+            pid = view.file.allocate()
+            buf = bytearray(view.file.page_size)
+            frame = _Frame(buf, pin_count=1)
+            self._frames[(fid, pid)] = frame
+            self._clock.append((fid, pid))
+            self._note_pin(+1)
+            frame.dirty = True
         return pid, buf
 
     def unpin_at(self, fid: int, pid: int, dirty: bool = False) -> None:
-        frame = self._frames.get((fid, pid))
-        if frame is None or frame.pin_count <= 0:
-            raise StorageError(f"unpin of page {pid} that is not pinned")
-        frame.pin_count -= 1
-        frame.dirty |= dirty
+        with self._lock:
+            frame = self._frames.get((fid, pid))
+            if frame is None or frame.pin_count <= 0:
+                raise StorageError(f"unpin of page {pid} that is not pinned")
+            frame.pin_count -= 1
+            frame.dirty |= dirty
+            self._note_pin(-1)
 
     # single-file compatibility: operate on the first attached file
     def pin(self, pid: int) -> bytearray:
@@ -210,24 +312,32 @@ class BufferPool:
     def pinned_total(self) -> int:
         """Sum of all pin counts across every attached file (the engine
         asserts 0 after a query — pool-wide)."""
-        return sum(f.pin_count for f in self._frames.values())
+        with self._lock:
+            return sum(f.pin_count for f in self._frames.values())
 
     def resident(self) -> int:
         return len(self._frames)
 
     def resident_of(self, fid: int) -> int:
         """Resident page count of one attached file (eviction fairness)."""
-        return sum(1 for f, _ in self._frames if f == fid)
+        with self._lock:
+            return sum(1 for f, _ in self._frames if f == fid)
 
     # -- clock eviction ----------------------------------------------------
 
-    def _admit(self, key: tuple[int, int], buf: bytearray) -> _Frame:
-        frame = _Frame(buf, pin_count=1)
-        self._frames[key] = frame
-        self._clock.append(key)
-        return frame
+    def _clock_remove(self, key: tuple[int, int]) -> None:
+        """Drop ``key`` from the clock, keeping the hand on the same
+        neighbour (failed fault-ins remove their reserved slot)."""
+        i = self._clock.index(key)
+        del self._clock[i]
+        if i < self._hand:
+            self._hand -= 1
 
     def _make_room(self) -> None:
+        # pool lock held.  Loading frames are born with pin_count 1, so
+        # the sweep can never evict a frame whose buffer is still in
+        # flight — eviction needs no frame latch (lock hierarchy: the
+        # pool lock is taken first and the latch never follows it here).
         if self.capacity is None or len(self._frames) < self.capacity:
             return
         # Second-chance sweep: skip pinned frames, clear one reference bit
@@ -249,10 +359,14 @@ class BufferPool:
                 del self._clock[self._hand]  # hand now points at the next
                 return
             scanned += 1
-        raise StorageError(
-            f"buffer pool exhausted: all {len(self._frames)} frames pinned")
+        raise PoolExhaustedError(
+            capacity=len(self._frames),
+            pinned=sum(f.pin_count for f in self._frames.values()))
 
     def _evict(self, key: tuple[int, int]) -> None:
+        # pool lock held; a dirty victim is written back *before* the
+        # frame leaves the table, so a concurrent re-pin of the same page
+        # can never read a stale on-disk copy
         frame = self._frames.pop(key)
         fid, pid = key
         if frame.dirty:
@@ -267,19 +381,30 @@ class BufferPool:
 
     def flush(self) -> None:
         """Write back every dirty frame (frames stay resident)."""
-        for key in sorted(self._frames):
-            frame = self._frames[key]
-            if frame.dirty:
-                fid, pid = key
-                view = self._views[fid]
-                view.file.write_page(pid, frame.buf)  # stamps the page crc
-                self.stats.pages_written += 1
-                view.stats.pages_written += 1
-                frame.dirty = False
-        for view in self._views:
+        with self._lock:
+            for key in sorted(self._frames):
+                frame = self._frames[key]
+                if frame.dirty:
+                    fid, pid = key
+                    view = self._views[fid]
+                    view.file.write_page(pid, frame.buf)  # stamps the crc
+                    self.stats.pages_written += 1
+                    view.stats.pages_written += 1
+                    frame.dirty = False
+            views = list(self._views)
+        for view in views:
             view.file.flush()
 
     def close(self) -> None:
-        if self.pinned_total():
+        """Flush and mark the pool closed.  Idempotent: a second close is
+        a no-op — including after a *failed* first close, so cleanup paths
+        that close again (``with`` blocks, repository teardown) report the
+        original error instead of a repeated pinned-pages complaint."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pinned = sum(f.pin_count for f in self._frames.values())
+        if pinned:
             raise StorageError("closing buffer pool with pinned pages")
         self.flush()

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 
 from ..errors import CorruptDataError, StorageError
@@ -102,6 +103,11 @@ class PageFile:
         #: header (or declared length) changed since the last flush; a
         #: pure-read session never writes a byte back to the file.
         self._hdr_dirty = False
+        #: serializes seek+read/write pairs on the shared descriptor —
+        #: concurrent fault-ins of *different* pages (the buffer pool does
+        #: its physical I/O outside the pool lock) must not race on the
+        #: file position.
+        self._io_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -208,8 +214,9 @@ class PageFile:
         if not 0 <= pid < self.n_pages:
             raise StorageError(f"page {pid} out of range (file has "
                                f"{self.n_pages})")
-        self._f.seek(FILE_HEADER + pid * self.page_size)
-        data = self._f.read(self.page_size)
+        with self._io_lock:
+            self._f.seek(FILE_HEADER + pid * self.page_size)
+            data = self._f.read(self.page_size)
         if len(data) < self.page_size:  # allocated but never written back
             data = data + b"\x00" * (self.page_size - len(data))
         if verify:
@@ -239,8 +246,9 @@ class PageFile:
             data = bytearray(buf)
             stamp_crc(data)
             data = bytes(data)
-        self._f.seek(FILE_HEADER + pid * self.page_size)
-        self._f.write(data)
+        with self._io_lock:
+            self._f.seek(FILE_HEADER + pid * self.page_size)
+            self._f.write(data)
 
     def size_bytes(self) -> int:
         """Current on-disk size (header + written pages)."""

@@ -92,6 +92,33 @@ def test_unreadable_payload_is_exit_2(tmp_path):
     assert gate.main([missing, missing]) == 2
 
 
+def _serve_payload(speedup_4, speedup_16):
+    return {"serve_regime": {"records": [
+        {"n_clients": 4, "speedup": speedup_4},
+        {"n_clients": 16, "speedup": speedup_16},
+    ]}}
+
+
+def test_serve_regime_gates_qps_scaling(tmp_path, capsys):
+    base = _serve_payload(3.9, 15.2)
+    assert _run(tmp_path, _serve_payload(3.8, 14.8), base) == 0
+    assert "serve" in capsys.readouterr().out
+    # 16-client scaling collapsing to ~2x is a >20% geomean regression
+    assert _run(tmp_path, _serve_payload(3.8, 2.0), base) == 1
+
+
+def test_committed_serve_baseline_self_gates():
+    committed = pathlib.Path(BENCHMARKS).parent / "BENCH_serve.json"
+    payload = json.loads(committed.read_text("utf-8"))
+    lines, ratios = gate.compare(payload, payload)
+    assert ratios and all(r == 1.0 for r in ratios)
+    assert any(line.lstrip().startswith("serve") for line in lines)
+    # the committed baseline itself documents the acceptance floor
+    records = payload["serve_regime"]["records"]
+    by_n = {r["n_clients"]: r["speedup"] for r in records}
+    assert by_n[16] >= payload["serve_regime"]["threshold"]
+
+
 def test_committed_baseline_self_gates():
     """The committed BENCH_xq.json must pass against itself — guards the
     payload shape the CI step depends on."""

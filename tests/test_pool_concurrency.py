@@ -1,0 +1,247 @@
+"""Buffer pool under threads: the substrate of ``repro.serve``.
+
+Stress pin/unpin/evict from many threads over a pool far smaller than the
+page set — content must stay correct, no page may be faulted twice
+concurrently, every thread's net pin delta must return to zero — plus the
+deterministic single-thread behavior (counter sequences, typed
+exhaustion, idempotent close) the rest of the suite relies on.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.errors import PoolExhaustedError, StorageError
+from repro.storage import BufferPool, PageFile
+
+#: page content lives past the 12-byte header (crc at bytes [8, 12) is
+#: stamped on write-back, so only payload bytes are compared)
+_HDR = 12
+
+
+def _make_file(tmp_path, n_pages: int, page_size: int = 64) -> str:
+    """A page file of ``n_pages`` pages, page ``pid`` filled with byte
+    ``pid + 1`` (written through a throwaway pool so crcs are stamped)."""
+    path = str(tmp_path / "pages.pg")
+    file = PageFile.create(path, page_size)
+    pool = BufferPool(file, capacity=None)
+    for pid in range(n_pages):
+        got, buf = pool.new_page()
+        assert got == pid
+        buf[_HDR:] = bytes([pid + 1]) * (page_size - _HDR)
+        pool.unpin(pid, dirty=True)
+    pool.flush()
+    file.close()
+    return path
+
+
+def test_threaded_stress_no_lost_frames_no_leaked_pins(tmp_path):
+    """8 threads hammer a 24-page file through a 12-frame pool (each
+    thread holds one pin at a time, so 8 concurrent pins always leave the
+    clock a victim — the sizing rule admission control enforces): every
+    read sees the right bytes, eviction churns, per-thread and pool-wide
+    pin accounting both end at zero, and physical reads equal misses (a
+    coalesced fault never reads twice)."""
+    n_pages, page_size = 24, 64
+    path = _make_file(tmp_path, n_pages, page_size)
+    file = PageFile.open(path)
+    pool = BufferPool(file, capacity=12)
+    errors: list[str] = []
+    local_after: dict[int, int] = {}
+
+    def worker(seed: int) -> None:
+        rng = random.Random(seed)
+        try:
+            for _ in range(300):
+                pid = rng.randrange(n_pages)
+                buf = pool.pin(pid)
+                if bytes(buf[_HDR:]) != bytes([pid + 1]) * (page_size - _HDR):
+                    errors.append(f"page {pid}: wrong bytes")
+                if rng.random() < 0.2:
+                    time.sleep(0)  # encourage interleaving
+                pool.unpin(pid)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(f"seed {seed}: {exc!r}")
+        finally:
+            local_after[seed] = pool.pinned_local()
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert set(local_after.values()) == {0}   # per-thread zero net pins
+    assert pool.pinned_total() == 0
+    assert pool.resident() <= 12
+    assert pool.stats.evictions > 0           # the pool actually churned
+    assert pool.stats.hits + pool.stats.misses == 8 * 300
+    # one physical read per miss: concurrent faults of a page coalesced
+    assert pool.stats.pages_read == pool.stats.misses
+    file.close()
+
+
+def test_concurrent_fault_of_same_page_reads_once(tmp_path):
+    """The second reader of an in-flight fault blocks on the frame latch
+    and is served from the loaded frame — exactly one physical read."""
+    path = _make_file(tmp_path, n_pages=2)
+    file = PageFile.open(path)
+    pool = BufferPool(file, capacity=4)
+
+    reads: list[int] = []
+    real_read = file.read_page
+
+    def slow_read(pid, verify=True):
+        reads.append(pid)
+        time.sleep(0.05)
+        return real_read(pid, verify=verify)
+
+    file.read_page = slow_read
+    results = []
+
+    def reader():
+        buf = pool.pin(1)
+        results.append(bytes(buf))
+        pool.unpin(1)
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert reads == [1]                       # a single physical read
+    assert len(set(results)) == 1             # everyone saw the same frame
+    assert pool.stats.misses == 1 and pool.stats.hits == 3
+    assert pool.pinned_total() == 0
+    file.close()
+
+
+def test_failed_fault_releases_slot_and_wakes_waiters(tmp_path):
+    """A fault that dies on I/O removes its reserved frame, wakes blocked
+    readers (who then fail the same way), and leaves the pool clean for a
+    later retry."""
+    path = _make_file(tmp_path, n_pages=2)
+    file = PageFile.open(path)
+    pool = BufferPool(file, capacity=4)
+
+    real_read = file.read_page
+    fail = threading.Event()
+    fail.set()
+
+    def flaky_read(pid, verify=True):
+        if fail.is_set():
+            time.sleep(0.02)                  # let waiters pile on the latch
+            raise StorageError("injected read failure")
+        return real_read(pid, verify=verify)
+
+    file.read_page = flaky_read
+    outcomes: list[str] = []
+
+    def reader():
+        try:
+            pool.pin(0)
+            outcomes.append("ok")
+            pool.unpin(0)
+        except StorageError:
+            outcomes.append("fail")
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert outcomes == ["fail"] * 3
+    assert pool.pinned_total() == 0 and pool.resident() == 0
+
+    fail.clear()                              # I/O recovers: retry succeeds
+    buf = pool.pin(0)
+    assert bytes(buf[_HDR:]) == bytes([1]) * (64 - _HDR)
+    pool.unpin(0)
+    assert pool.pinned_total() == 0
+    file.close()
+
+
+def test_single_thread_counters_stay_deterministic(tmp_path):
+    """The concurrency-safe pool must behave exactly like the sequential
+    one when used from one thread: fixed access pattern, fixed counters."""
+    path = _make_file(tmp_path, n_pages=4)
+    file = PageFile.open(path)
+    pool = BufferPool(file, capacity=2)
+
+    for pid in (0, 1, 0, 2, 3, 2, 0):
+        pool.pin(pid)
+        pool.unpin(pid)
+    # 0 miss, 1 miss, 0 hit, 2 miss evicts, 3 miss evicts, 2 hit,
+    # 0 miss evicts — second-chance over a 2-frame clock
+    assert pool.stats.misses == 5
+    assert pool.stats.hits == 2
+    assert pool.stats.pages_read == 5
+    assert pool.stats.evictions == 3
+    assert pool.stats.hit_rate() == pytest.approx(2 / 7)
+    assert pool.resident() == 2
+    file.close()
+
+
+def test_pool_exhausted_is_typed_with_counts(tmp_path):
+    path = _make_file(tmp_path, n_pages=3)
+    file = PageFile.open(path)
+    pool = BufferPool(file, capacity=2)
+    pool.pin(0)
+    pool.pin(1)
+    with pytest.raises(PoolExhaustedError) as ei:
+        pool.pin(2)
+    assert isinstance(ei.value, StorageError)  # old handlers still catch it
+    assert ei.value.capacity == 2
+    assert ei.value.pinned == 2
+    assert "pinned" in str(ei.value)
+    pool.unpin(0)
+    pool.unpin(1)
+    assert pool.pinned_local() == 0 and pool.pinned_total() == 0
+    file.close()
+
+
+def test_pinned_local_is_per_thread(tmp_path):
+    path = _make_file(tmp_path, n_pages=3)
+    file = PageFile.open(path)
+    pool = BufferPool(file, capacity=None)
+    pool.pin(0)
+    seen: dict[str, int] = {}
+
+    def other():
+        seen["start"] = pool.pinned_local()   # blind to main's pin
+        pool.pin(1)
+        seen["pinned"] = pool.pinned_local()
+        pool.unpin(1)
+        seen["done"] = pool.pinned_local()
+
+    t = threading.Thread(target=other)
+    t.start()
+    t.join()
+    assert seen == {"start": 0, "pinned": 1, "done": 0}
+    assert pool.pinned_local() == 1           # main's own pin, still held
+    assert pool.pinned_total() == 1
+    pool.unpin(0)
+    assert pool.pinned_local() == 0
+    file.close()
+
+
+def test_close_is_idempotent_even_after_failed_close(tmp_path):
+    path = _make_file(tmp_path, n_pages=2)
+    file = PageFile.open(path)
+    pool = BufferPool(file, capacity=2)
+    pool.pin(0)
+    with pytest.raises(StorageError, match="pinned"):
+        pool.close()                          # failed close: page still pinned
+    pool.close()                              # second close: clean no-op
+    pool.unpin(0)
+    pool.close()
+    file.close()
+
+    pool2 = BufferPool(PageFile.open(path), capacity=2)
+    pool2.close()
+    pool2.close()                             # plain double close: no-op
+    pool2.file.close()
