@@ -26,10 +26,30 @@ slower machine scales both sides and cancels — which is what lets
 16-client burst is also reported (``capacity_qps``) as the raw
 saturation throughput, informational only.
 
+**Same-member hotspot.**  A second, single-member repository is served
+with the result cache disabled and hammered by closed-loop clients that
+all target that one member.  Before per-request evaluation contexts,
+a per-member evaluation lock serialized exactly this regime; the
+reported ``speedup`` (16-client QPS over 1-client QPS, same think-time
+methodology) is the floor the tentpole must hold: >= MIN_HOTSPOT_16.
+
+**Warm cache.**  The same workload is timed sequentially against two
+warm servers — one with ``--result-cache 0`` (every request evaluates)
+and one with the default cache (every request after the first is a
+hit).  Per-query ``speedup`` is evaluated/hit service time on the same
+machine, so it gates across runners like the other ratios; the overall
+ratio must be >= MIN_CACHE_SPEEDUP on a full run.
+
+The throughput and hotspot phases run with ``--result-cache 0`` so they
+keep measuring concurrent *evaluation*; the 16-worker identity server
+keeps the cache on, so cached responses are byte-checked against the
+in-process reference too.
+
 Asserted on a full run (not ``--smoke``): byte-identity everywhere,
-``speedup`` at 16 clients >= MIN_SPEEDUP_16 (4x), zero pin leaks and
-zero pinned pages in the server's own /stats after every phase.
-Results go to BENCH_serve.json.
+``speedup`` at 16 clients >= MIN_SPEEDUP_16 (4x), hotspot speedup >=
+MIN_HOTSPOT_16 (3x), warm-cache speedup >= MIN_CACHE_SPEEDUP (5x), zero
+pin leaks and zero pinned pages in the server's own /stats after every
+phase.  Results go to BENCH_serve.json.
 """
 
 from __future__ import annotations
@@ -42,6 +62,7 @@ import os
 import pathlib
 import re
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -63,6 +84,11 @@ from repro.storage.vdocfile import save_vdoc  # noqa: E402
 THINK_FACTOR = 24.0
 #: required QPS scaling at 16 clients vs 1 (acceptance floor)
 MIN_SPEEDUP_16 = 4.0
+#: required QPS scaling at 16 clients all hitting ONE member, result
+#: cache off — the regime the old per-member evaluation lock serialized
+MIN_HOTSPOT_16 = 3.0
+#: required warm service-time ratio: evaluated (cache off) / hit (cache on)
+MIN_CACHE_SPEEDUP = 5.0
 CLIENT_COUNTS = (1, 4, 16)
 
 #: the served workload: (endpoint, query) pairs cycled by every client
@@ -102,11 +128,14 @@ def build_repo(workdir: str, member_sizes: list[int]) -> str:
 class Server:
     """A ``repro-xq serve`` subprocess on an ephemeral port."""
 
-    def __init__(self, repo_dir: str, workers: int, pool: int):
+    def __init__(self, repo_dir: str, workers: int, pool: int,
+                 result_cache_mb: float | None = None):
+        cmd = [sys.executable, "-m", "repro.cli", "serve", repo_dir,
+               "--port", "0", "--workers", str(workers), "--pool", str(pool)]
+        if result_cache_mb is not None:
+            cmd += ["--result-cache", str(result_cache_mb)]
         self.proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve", repo_dir,
-             "--port", "0", "--workers", str(workers), "--pool", str(pool)],
-            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
             env={**os.environ, "PYTHONPATH": SRC}, text=True)
         line = self.proc.stdout.readline()
         m = re.search(r"http://([\d.]+):(\d+)", line)
@@ -139,6 +168,11 @@ class Client:
 
     def __init__(self, host: str, port: int):
         self.conn = http.client.HTTPConnection(host, port, timeout=60)
+        # http.client writes headers and body in separate segments; with
+        # Nagle on, back-to-back requests stall ~40ms on the peer's
+        # delayed ACK — which would swamp every service-time measurement
+        self.conn.connect()
+        self.conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
     def query(self, endpoint: str, body: str) -> bytes:
         self.conn.request("POST", endpoint, body=body.encode("utf-8"))
@@ -172,9 +206,10 @@ def expected_bodies(repo_dir: str) -> list[bytes]:
 
 def check_identity(repo_dir: str, expected: list[bytes], pool: int,
                    n_clients: int = 16) -> None:
-    """1-worker sequential and 16-worker concurrent servers must both
+    """1-worker sequential (result cache off) and 16-worker concurrent
+    (result cache on: repeat queries answer from it) servers must both
     reproduce the in-process answers byte for byte."""
-    srv = Server(repo_dir, workers=1, pool=pool)
+    srv = Server(repo_dir, workers=1, pool=pool, result_cache_mb=0)
     try:
         cli = Client(srv.host, srv.port)
         for (endpoint, query), want in zip(WORKLOAD, expected):
@@ -268,6 +303,106 @@ def closed_loop(srv: Server, n_clients: int, n_requests: int,
     }
 
 
+def warm_service_times(srv: Server, rounds: int = 3) -> dict[str, float]:
+    """Warm the server (pool + result cache, when enabled), then the mean
+    sequential service time of each workload query, in seconds."""
+    cli = Client(srv.host, srv.port)
+    try:
+        for endpoint, query in WORKLOAD:
+            cli.query(endpoint, query)
+        per_query: dict[str, float] = {}
+        for endpoint, query in WORKLOAD:
+            t0 = time.perf_counter()
+            for _ in range(rounds):
+                cli.query(endpoint, query)
+            per_query[query] = (time.perf_counter() - t0) / rounds
+    finally:
+        cli.close()
+    return per_query
+
+
+def measure_hotspot(workdir: str, n_people: int, pool: int,
+                    target_run_s: float, do_assert: bool) -> dict:
+    """Same-member hotspot: every client hammers the only member of a
+    one-member repository, result cache off — the regime a per-member
+    evaluation lock would serialize."""
+    hot_dir = os.path.join(workdir, "hot")
+    os.makedirs(hot_dir)
+    repo_dir = build_repo(hot_dir, [n_people])
+    srv = Server(repo_dir, workers=16, pool=pool, result_cache_mb=0)
+    try:
+        service_s = sum(warm_service_times(srv).values()) / len(WORKLOAD)
+        think_s = max(0.02, THINK_FACTOR * service_s)
+        n_requests = max(8, min(120, math.ceil(
+            target_run_s / (think_s + service_s))))
+        print(f"hotspot ({n_people}-people member): warm service "
+              f"{service_s * 1e3:.1f}ms -> think {think_s * 1e3:.0f}ms, "
+              f"{n_requests} requests/client")
+        runs = [closed_loop(srv, n, n_requests, think_s) for n in (1, 16)]
+        for r in runs:
+            print(f"  {r['n_clients']:2d} client(s) on one member: "
+                  f"{r['qps']:7.2f} qps  p99 {r['p99_ms']:6.1f}ms")
+            if do_assert:
+                assert r["pin_leaks"] == 0, "hotspot run leaked pins"
+                assert r["pinned"] == 0, "hotspot run left pages pinned"
+    finally:
+        final = srv.stop()
+    assert final["pin_leaks"] == 0 and final["pool"]["pinned"] == 0
+    qps_1 = runs[0]["qps"]
+    records = [{**runs[1], "qps_1": qps_1,
+                "speedup": runs[1]["qps"] / qps_1, "think_s": think_s}]
+    print(f"  hotspot scaling: {records[0]['speedup']:5.2f}x over 1 client "
+          f"(floor {MIN_HOTSPOT_16:.0f}x)")
+    return {
+        "member_people": n_people,
+        "records": records,
+        "runs": runs,
+        "threshold": MIN_HOTSPOT_16,
+    }
+
+
+def measure_cache(repo_dir: str, pool: int, rounds: int) -> dict:
+    """Warm-cache regime: sequential service time of the same warm
+    workload with the result cache off (every request evaluates) vs on
+    (every request hits); per-query speedup = evaluated/hit."""
+    srv = Server(repo_dir, workers=4, pool=pool, result_cache_mb=0)
+    try:
+        evaluated = warm_service_times(srv, rounds)
+    finally:
+        final = srv.stop()
+    assert final["pin_leaks"] == 0 and final["pool"]["pinned"] == 0
+
+    srv = Server(repo_dir, workers=4, pool=pool)   # default cache on
+    try:
+        hit = warm_service_times(srv, rounds)
+        cache_stats = srv.stats()["result_cache"]
+    finally:
+        final = srv.stop()
+    assert final["pin_leaks"] == 0 and final["pool"]["pinned"] == 0
+    assert cache_stats["hits"] > 0, "warm passes never hit the cache"
+
+    records = []
+    for _, query in WORKLOAD:
+        records.append({
+            "query": query,
+            "evaluated_ms": evaluated[query] * 1e3,
+            "hit_ms": hit[query] * 1e3,
+            "speedup": evaluated[query] / hit[query],
+        })
+        print(f"  cache: {evaluated[query] * 1e3:7.2f}ms -> "
+              f"{hit[query] * 1e3:6.2f}ms  "
+              f"({records[-1]['speedup']:5.1f}x)  {query[:52]}")
+    overall = (sum(evaluated.values()) / sum(hit.values()))
+    print(f"  warm-cache speedup overall: {overall:5.2f}x "
+          f"(floor {MIN_CACHE_SPEEDUP:.0f}x)")
+    return {
+        "records": records,
+        "overall_speedup": overall,
+        "cache_stats": cache_stats,
+        "threshold": MIN_CACHE_SPEEDUP,
+    }
+
+
 def run(member_sizes: list[int], pool: int, target_run_s: float,
         out_path: str, do_assert: bool) -> int:
     with tempfile.TemporaryDirectory(prefix="bench-serve-") as workdir:
@@ -277,7 +412,9 @@ def run(member_sizes: list[int], pool: int, target_run_s: float,
         expected = expected_bodies(repo_dir)
         check_identity(repo_dir, expected, pool)
 
-        srv = Server(repo_dir, workers=16, pool=pool)
+        # throughput is measured with the result cache OFF: this regime
+        # gates concurrent evaluation, not the cache's hit path
+        srv = Server(repo_dir, workers=16, pool=pool, result_cache_mb=0)
         try:
             # warm the pool, then measure the sequential service time the
             # think time is derived from
@@ -326,6 +463,10 @@ def run(member_sizes: list[int], pool: int, target_run_s: float,
             print(f"  {r['n_clients']:2d}-client scaling: "
                   f"{r['qps'] / qps_1:5.2f}x over 1 client")
 
+        hotspot = measure_hotspot(workdir, member_sizes[-1], pool,
+                                  target_run_s, do_assert)
+        cache = measure_cache(repo_dir, pool, rounds=5)
+
         payload = {
             "bench": "serve_concurrent_throughput",
             "version": __version__,
@@ -339,18 +480,34 @@ def run(member_sizes: list[int], pool: int, target_run_s: float,
                 "capacity_qps_16": capacity["qps"],
                 "threshold": MIN_SPEEDUP_16,
             },
+            "hotspot_regime": hotspot,
+            "cache_regime": cache,
             "final_stats": final,
         }
         pathlib.Path(out_path).write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out_path}")
 
-        speedup_16 = records[-1]["speedup"]
-        if do_assert and speedup_16 < MIN_SPEEDUP_16:
-            print(f"FAIL: expected 16-client throughput >= "
-                  f"{MIN_SPEEDUP_16:.0f}x the single-client QPS, got "
-                  f"{speedup_16:.2f}x", file=sys.stderr)
-            return 1
+        if do_assert:
+            failures = []
+            speedup_16 = records[-1]["speedup"]
+            if speedup_16 < MIN_SPEEDUP_16:
+                failures.append(
+                    f"16-client throughput {speedup_16:.2f}x < "
+                    f"{MIN_SPEEDUP_16:.0f}x the single-client QPS")
+            hot_16 = hotspot["records"][0]["speedup"]
+            if hot_16 < MIN_HOTSPOT_16:
+                failures.append(
+                    f"same-member hotspot {hot_16:.2f}x < "
+                    f"{MIN_HOTSPOT_16:.0f}x the single-client QPS")
+            if cache["overall_speedup"] < MIN_CACHE_SPEEDUP:
+                failures.append(
+                    f"warm-cache hit path {cache['overall_speedup']:.2f}x "
+                    f"< {MIN_CACHE_SPEEDUP:.0f}x the evaluated path")
+            if failures:
+                for f in failures:
+                    print(f"FAIL: {f}", file=sys.stderr)
+                return 1
     return 0
 
 

@@ -41,6 +41,12 @@ REGIMES = {
     # QPS in the same closed-loop (think-time) run — a machine-relative
     # ratio like the others, so it gates across runners too
     "serve": (("serve_regime", "records"), ("n_clients",)),
+    # same-member hotspot (every client on one member, result cache off):
+    # the regime a per-member evaluation lock would serialize
+    "serve_hotspot": (("hotspot_regime", "records"), ("n_clients",)),
+    # warm result cache: evaluated service time / hit service time,
+    # both measured warm on the same machine in the same run
+    "serve_cache": (("cache_regime", "records"), ("query",)),
 }
 
 

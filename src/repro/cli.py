@@ -318,6 +318,10 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--queue-timeout", type=float, default=2.0,
                          help="max seconds a request waits for a free "
                               "slot before HTTP 503 (default 2.0)")
+    p_serve.add_argument("--result-cache", type=float, default=64.0,
+                         metavar="MB",
+                         help="result cache budget in MiB; 0 disables "
+                              "caching (default 64)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each request line on stderr")
 

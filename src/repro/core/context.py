@@ -16,8 +16,9 @@ Invariants enforced here (all machine checks, not comments):
 * **no decompression** — :meth:`EvalContext.guard` wraps the evaluation in
   :func:`~repro.core.reconstruct.forbid_decompression`;
 * **scan-at-most-once** — after the query, no touched vector may have been
-  scanned more than once, logically (``scan_count``) or physically (pages
-  read within the query window bounded by one full chain pass);
+  scanned more than once, logically (per-context scan counts reported by
+  ``Vector.scan()`` through the thread's active context) or physically
+  (pages read *by this context* bounded by one full chain pass);
 * **one pass per plan operation** — batched combo execution promises each
   data vector is swept at most once per plan *operation* across all
   concrete-path combos; full-column kernel sweeps register through
@@ -36,7 +37,7 @@ import numpy as np
 
 from ..errors import EngineInvariantError
 from .reconstruct import forbid_decompression
-from .vectors import Vector
+from .vectors import Vector, set_active_context
 
 
 class VectorCache:
@@ -75,6 +76,12 @@ class EvalContext:
         self.strict_passes = strict_passes
         self._caches: dict[int, VectorCache] = {}
         self._passes: dict[tuple, int] = {}
+        # per-context accounting windows, keyed by id(I/O unit): logical
+        # scans and physical page reads performed *by this context* — the
+        # shared vectors carry no per-query state, so concurrent contexts
+        # over the same document never see each other's counts
+        self._scans: dict[int, int] = {}
+        self._io: dict[int, int] = {}
 
     @classmethod
     def for_doc(cls, vdoc, strict_passes: bool = True) -> "EvalContext":
@@ -108,13 +115,41 @@ class EvalContext:
     # -- per-query windows -------------------------------------------------
 
     def begin(self, vdoc) -> None:
-        """Open a fresh accounting window for a query over ``vdoc``: zero
-        its scan counters, drop its cached columns, reset pass counts."""
+        """Open a fresh accounting window for a query over ``vdoc``: drop
+        this context's scan/IO counts for its I/O units, drop its cached
+        columns, reset pass counts.  The document itself is untouched —
+        other contexts evaluating it concurrently keep their windows."""
         self.add(vdoc)
-        vdoc.reset_scan_counts()
+        for u in vdoc.io_units():
+            uid = id(u)
+            self._scans.pop(uid, None)
+            self._io.pop(uid, None)
         self._caches.pop(id(vdoc), None)
         self._passes = {k: v for k, v in self._passes.items()
                         if k[0] != id(vdoc)}
+
+    def note_scan(self, unit) -> None:
+        """Record one logical scan of ``unit`` (a vector or index handle)
+        by this context — called by ``Vector.scan()`` through the
+        thread-local active context."""
+        uid = id(unit)
+        self._scans[uid] = self._scans.get(uid, 0) + 1
+
+    def note_io(self, unit, pages: int) -> None:
+        """Record ``pages`` physical page reads performed by this context
+        while materializing ``unit``."""
+        if pages:
+            uid = id(unit)
+            self._io[uid] = self._io.get(uid, 0) + pages
+
+    def scan_counts(self, vdoc) -> dict[tuple, int]:
+        """This context's per-unit scan counts for ``vdoc`` (tests assert
+        the scan-once invariant through this)."""
+        return {u.path: self._scans.get(id(u), 0) for u in vdoc.io_units()}
+
+    def pages_in_window(self, unit) -> int:
+        """Physical pages this context read while materializing ``unit``."""
+        return self._io.get(id(unit), 0)
 
     def note_pass(self, vdoc, key: tuple) -> None:
         """Record one full-column kernel sweep attributed to ``key``
@@ -163,19 +198,19 @@ class EvalContext:
         """Post-query assertions for ``vdoc``: scan-once (logical and
         physical), once-per-operation passes, and zero pins pool-wide."""
         units = vdoc.io_units()
-        over = [u.path for u in units if u.scan_count > 1]
+        over = [u.path for u in units if self._scans.get(id(u), 0) > 1]
         if over:
             raise EngineInvariantError(
                 "vectors scanned more than once in one query: "
                 + ", ".join("/".join(p) for p in over)
             )
-        # Disk-backed documents: the in-memory counter is additionally
-        # checked against *physical* I/O — within the query window no
-        # vector (or index segment) may read more pages than one full pass
-        # over its chain(s).
+        # Disk-backed documents: the logical counter is additionally
+        # checked against *physical* I/O — within the query window this
+        # context may not read more pages of a vector (or index segment)
+        # than one full pass over its chain(s).
         over_io = [
             u.path for u in units
-            if u.pages_read_in_window() > u.n_pages
+            if self._io.get(id(u), 0) > u.n_pages
         ]
         if over_io:
             raise EngineInvariantError(
@@ -187,13 +222,18 @@ class EvalContext:
 
     @contextmanager
     def guard(self, vdoc):
-        """The engine's evaluation envelope: fresh accounting window, no
-        decompression inside, pin check on failure, full check on success."""
+        """The engine's evaluation envelope: fresh accounting window, this
+        context installed as the thread's scan/IO sink, no decompression
+        inside, pin check on failure, full check on success."""
         self.begin(vdoc)
+        prev = set_active_context(self)
         try:
-            with forbid_decompression():
-                yield self
-        except BaseException:
-            self.check_pins()  # a failed query must not leak pins either
-            raise
+            try:
+                with forbid_decompression():
+                    yield self
+            except BaseException:
+                self.check_pins()  # a failed query must not leak pins either
+                raise
+        finally:
+            set_active_context(prev)
         self.check(vdoc)

@@ -108,6 +108,16 @@ class XQVXResult:
         # decompresses the (typically small) *result*, outside the query
         return self.vdoc.to_xml()
 
+    def fragment(self) -> str:
+        """The serialized children of the result root, concatenated —
+        the root-tag-free payload.  Because serialization of an element
+        is exactly ``<root>`` + its children's serializations + the end
+        tag, fragments can be spliced under any shared root
+        byte-identically to serializing the assembled tree; the
+        repository result cache stores member results in this form."""
+        tree = self.vdoc.to_tree()
+        return "".join(serialize(kid) for kid in tree.children)
+
 
 def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx",
             batched: bool = True, ctx: EvalContext | None = None,

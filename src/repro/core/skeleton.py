@@ -24,6 +24,8 @@ the planner gets the statistics of *every* node for the cost of one.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 TEXT_LABEL = "#"
@@ -56,18 +58,29 @@ class NodeStore:
         self._intern: dict[tuple[str, Runs], int] = {}
         self._occ_cols: dict[tuple[str, ...], np.ndarray] = {}
         self._size_memo: dict[int, int] = {}
+        self._intern_lock = threading.Lock()
         self.text_id = self.intern(TEXT_LABEL, ())
 
     # -- construction -----------------------------------------------------
 
     def intern(self, label: str, children: Runs) -> int:
+        """Intern ``(label, children)``; safe under concurrent result
+        construction (a repository member's store is shared by every
+        request evaluating it).  The fast path is a lock-free dict hit; a
+        miss appends under the lock, ``_children`` before ``_labels`` and
+        the intern entry last, so lock-free readers iterating up to
+        ``len(self._labels)`` never see a node whose children are missing.
+        """
         key = (label, children)
         nid = self._intern.get(key)
         if nid is None:
-            nid = len(self._labels)
-            self._labels.append(label)
-            self._children.append(children)
-            self._intern[key] = nid
+            with self._intern_lock:
+                nid = self._intern.get(key)
+                if nid is None:
+                    nid = len(self._labels)
+                    self._children.append(children)
+                    self._labels.append(label)
+                    self._intern[key] = nid
         return nid
 
     def intern_list(self, label: str, child_ids: list[int]) -> int:

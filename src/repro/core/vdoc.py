@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from ..xmldata.model import Element
 from ..xmldata.parser import iterparse
 from ..xmldata.serializer import serialize
@@ -24,6 +26,7 @@ class VectorizedDocument:
         self.root = root
         self.vectors = vectors
         self._catalog = None
+        self._catalog_lock = threading.Lock()
         #: vector path -> value-index handle (anything with ``.distinct``
         #: and ``.get() -> ValueIndex``); in-memory docs fill it via
         #: :meth:`build_indexes`, disk docs from the file catalog.
@@ -80,23 +83,21 @@ class VectorizedDocument:
 
     @property
     def catalog(self):
-        """Lazily built run-length occurrence indexes (position algebra)."""
+        """Lazily built run-length occurrence indexes (position algebra).
+        Built at most once even under concurrent first access (the build
+        is pure, but two racing builds would waste work and publish
+        distinct memo dicts)."""
         if self._catalog is None:
-            from .paths import PathsCatalog
+            with self._catalog_lock:
+                if self._catalog is None:
+                    from .paths import PathsCatalog
 
-            self._catalog = PathsCatalog(self.store, self.root)
+                    self._catalog = PathsCatalog(self.store, self.root)
         return self._catalog
 
-    def reset_scan_counts(self) -> None:
-        """Open a fresh per-query accounting window: zero the scan counters
-        and mark the current physical page-read level of every I/O unit."""
-        for v in self.io_units():
-            v.scan_count = 0
-            v.reset_io_window()
-
     def io_units(self) -> list:
-        """Everything carrying per-query I/O accounting (``scan_count``,
-        ``pages_read_in_window()``, ``n_pages``): the data vectors, plus —
+        """Everything the per-context I/O invariants cover (``path``,
+        cumulative ``pages_read``, ``n_pages``): the data vectors, plus —
         for disk-backed documents — the persistent index segments."""
         return list(self.vectors.values())
 
@@ -124,9 +125,10 @@ class VectorizedDocument:
         built = []
         for p, vec in sorted(self.vectors.items()):
             if paths is None or p in paths:
-                self._vindexes[p] = build_value_index(p, vec.scan())
+                # _col(), not scan(): index builds are not query scans and
+                # must not be charged to any active evaluation context
+                self._vindexes[p] = build_value_index(p, vec._col())
                 built.append(p)
-        self.reset_scan_counts()  # index builds are not query scans
         return built
 
     # -- statistics -------------------------------------------------------

@@ -6,15 +6,26 @@ operators.  ``scan()`` is the instrumented access path used by the query
 evaluators — the engine asserts each touched vector is scanned at most once
 per query, the paper's "each data vector is scanned at most once" guarantee.
 
+Scan accounting is **per evaluation context, not per vector**: a query's
+:class:`~repro.core.context.EvalContext` installs itself as the calling
+thread's *active context* (:func:`set_active_context`) for the duration of
+its guard, and ``scan()`` reports each scan to it.  The shared ``Vector``
+carries no per-query state, which is what lets two requests evaluate the
+same document concurrently, each with its own scan-once invariant
+machine-checked.
+
 All access to the column goes through the :meth:`Vector._col` hook so a
 disk-backed subclass (``repro.storage.vdocfile.LazyVector``) can defer
 materialization to the first touch — loading its pages through the buffer
-pool and charging the physical reads to the per-vector ``pages_read``
-counter the engine checks against ``n_pages`` (at most one full page pass
-per vector per query).  For the in-memory vector both counters stay 0.
+pool, charging the physical reads to the cumulative per-vector
+``pages_read`` counter *and* to the active context, which checks them
+against ``n_pages`` (at most one full page pass per vector per query).
+For the in-memory vector both counters stay 0.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -22,10 +33,25 @@ from ..util import parse_float
 
 PathKey = tuple  # tuple[str, ...] root label path, ending with '#'
 
+#: the calling thread's active evaluation context (scan/IO sink)
+_ACTIVE = threading.local()
+
+
+def set_active_context(ctx):
+    """Install ``ctx`` as this thread's scan/IO accounting sink; returns
+    the previous one so nested guards can restore it."""
+    prev = getattr(_ACTIVE, "ctx", None)
+    _ACTIVE.ctx = ctx
+    return prev
+
+
+def active_context():
+    """The calling thread's active :class:`EvalContext`, or ``None``."""
+    return getattr(_ACTIVE, "ctx", None)
+
 
 class Vector:
-    __slots__ = ("path", "_values", "_floats", "scan_count",
-                 "pages_read", "n_pages", "_io_baseline")
+    __slots__ = ("path", "_values", "_floats", "pages_read", "n_pages")
 
     def __init__(self, path: PathKey, values):
         self.path = path
@@ -36,10 +62,8 @@ class Vector:
             if self._values.dtype.kind != "U":  # e.g. empty input
                 self._values = self._values.astype(np.str_)
         self._floats: np.ndarray | None = None
-        self.scan_count = 0
         self.pages_read = 0   # physical pages read for this column, ever
         self.n_pages = 0      # pages of its on-disk chain (0 = in memory)
-        self._io_baseline = 0
 
     def __len__(self) -> int:
         return len(self._col())
@@ -52,20 +76,14 @@ class Vector:
     def _col(self) -> np.ndarray:
         return self._values
 
-    # -- per-query I/O accounting -----------------------------------------
-
-    def reset_io_window(self) -> None:
-        """Start a per-query window for :meth:`pages_read_in_window`."""
-        self._io_baseline = self.pages_read
-
-    def pages_read_in_window(self) -> int:
-        return self.pages_read - self._io_baseline
-
     # -- instrumented access (query hot path) -----------------------------
 
     def scan(self) -> np.ndarray:
-        """Return the full column, counting one sequential scan."""
-        self.scan_count += 1
+        """Return the full column, reporting one sequential scan to the
+        calling thread's active evaluation context (if any)."""
+        ctx = active_context()
+        if ctx is not None:
+            ctx.note_scan(self)
         return self._col()
 
     def floats(self) -> np.ndarray:

@@ -4,17 +4,23 @@ pool, with a persisted path catalog and ``collection()`` query support."""
 from .fsck import verify_repository
 from .repository import (
     MANIFEST,
+    MEMBER_NAME_RE,
     RepoXQResult,
     Repository,
     RepositoryError,
+    check_member_name,
     member_paths,
 )
+from .rescache import ResultCache
 
 __all__ = [
     "MANIFEST",
+    "MEMBER_NAME_RE",
     "RepoXQResult",
     "Repository",
     "RepositoryError",
+    "ResultCache",
+    "check_member_name",
     "member_paths",
     "verify_repository",
 ]

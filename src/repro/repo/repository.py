@@ -26,6 +26,20 @@ in (member, document-order) order; a storage failure in one member
 surfaces as a :class:`StorageError` naming that member and leaves the
 pool clean, so sibling members stay queryable.
 
+Concurrent requests (``repro.serve``) may evaluate the **same member at
+the same time**: per-query accounting lives in each request's
+:class:`~repro.core.context.EvalContext` (not on the shared document),
+lazy column/index materialization and skeleton interning are internally
+locked, and the buffer pool is concurrency-safe — so the repository
+needs no per-member evaluation lock, and the engine's invariants
+(scan-once, bounded physical I/O, zero leaked pins) are still asserted
+per request.  An optional byte-bounded LRU **result cache**
+(:class:`~repro.repo.rescache.ResultCache`) short-circuits repeat
+queries per member, keyed on the member file's identity (name, mtime,
+size) + normalized query text + evaluation flags, and is cleared on
+``add`` — responses assembled from cache hits are byte-identical to
+evaluated ones (fragment splicing, see :meth:`RepoXQResult.to_xml`).
+
 The catalog is also the repository's **pruning** structure: before a
 member is opened, its cataloged path list is checked against the query
 graph (:func:`repro.core.planner.member_can_match`) — a member holding no
@@ -42,6 +56,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import shutil
 import tempfile
 import threading
@@ -59,15 +74,34 @@ from ..core.xquery.parser import parse_xq
 from ..errors import ReproError, StorageError, XQCompileError
 from ..storage.buffer import BufferPool
 from ..storage.vdocfile import open_vdoc
-from ..xmldata.model import Element
-from ..xmldata.serializer import serialize
+from .rescache import ResultCache
 
 MANIFEST = "repo.json"
 REPO_FORMAT = 1
 
+#: member names are safe slugs: filesystem-inert (no separators, no
+#: traversal, no leading dot) and header-inert (no comma/CR/LF, so the
+#: ``X-Pruned`` response header built by joining names stays well-formed)
+MEMBER_NAME_RE = re.compile(r"^[A-Za-z0-9_\-][A-Za-z0-9._\-]*$")
+
 
 class RepositoryError(ReproError):
     """Repository-level misuse or a malformed repository directory."""
+
+
+def check_member_name(name) -> str:
+    """Validate a member name against the safe slug; returns it.
+
+    Rejecting at the membership boundary is what makes every downstream
+    use safe: ``{name}.vdoc`` can never escape the repository directory
+    (``name='../evil'`` was a path traversal), and names can never
+    corrupt the comma-joined ``X-Pruned`` HTTP header or its CR/LF
+    framing."""
+    if not isinstance(name, str) or not MEMBER_NAME_RE.match(name):
+        raise RepositoryError(
+            f"invalid member name {name!r}: names must match "
+            f"[A-Za-z0-9._-]+ and not start with '.'")
+    return name
 
 
 def member_paths(vdoc: VectorizedDocument) -> list[tuple[tuple, int]]:
@@ -100,6 +134,8 @@ def _check_manifest(raw) -> dict:
         name, file = m.get("name"), m.get("file")
         if not isinstance(name, str) or not name:
             raise bad("member without a name")
+        if not MEMBER_NAME_RE.match(name):
+            raise bad(f"member name {name!r} is not a safe slug")
         if name in seen:
             raise bad(f"duplicate member {name!r}")
         seen.add(name)
@@ -118,46 +154,90 @@ def _check_manifest(raw) -> dict:
     return raw
 
 
+class CachedXQMember:
+    """A result-cache hit standing in for an evaluated member result:
+    carries exactly what response assembly needs — the serialized
+    fragment and the tuple count."""
+
+    __slots__ = ("_fragment", "n_tuples")
+
+    def __init__(self, fragment: str, n_tuples: int):
+        self._fragment = fragment
+        self.n_tuples = n_tuples
+
+    def fragment(self) -> str:
+        return self._fragment
+
+
+class CachedCount:
+    """A cached per-member XPath count, quacking like ``VXResult`` for
+    the reporting surface the service uses."""
+
+    __slots__ = ("_count",)
+
+    def __init__(self, count: int):
+        self._count = count
+
+    def count(self) -> int:
+        return self._count
+
+
 class RepoXQResult:
     """A collection query's result: per-member results concatenated in
     (member, document-order) order under one result root.  ``pruned``
     names the members skipped by catalog pruning (proved empty without
     any page I/O)."""
 
-    def __init__(self, root_tag: str, results: list[tuple[str, XQVXResult]],
+    def __init__(self, root_tag: str, results: list[tuple[str, object]],
                  pruned: list[str] | None = None):
         self.root_tag = root_tag
-        self.results = results           # [(member name, XQVXResult)]
+        #: [(member name, XQVXResult | CachedXQMember)]
+        self.results = results
         self.pruned = pruned or []       # member names skipped via catalog
         self.n_tuples = sum(r.n_tuples for _, r in results)
 
     def to_xml(self) -> str:
-        # each member result decompresses its own (small) output tree;
-        # their children are spliced under one shared root, preserving
-        # member order — byte-identical to concatenated per-member output
-        kids = []
-        for _, r in self.results:
-            kids.extend(r.vdoc.to_tree().children)
-        return serialize(Element(self.root_tag, children=kids))
+        # assembled from per-member *fragments* (an evaluated member
+        # serializes its own small output tree; a cache hit is already a
+        # fragment) spliced under one shared root in member order —
+        # byte-identical to serializing the assembled tree, because
+        # serialization of an element is its start tag + the
+        # concatenation of its children's serializations + its end tag
+        inner = "".join(r.fragment() for _, r in self.results)
+        if not inner:
+            return f"<{self.root_tag}/>"
+        return f"<{self.root_tag}>{inner}</{self.root_tag}>"
 
 
 class Repository:
     """An open repository: manifest + one shared buffer pool."""
 
-    def __init__(self, dirpath: str, manifest: dict, pool: BufferPool):
+    def __init__(self, dirpath: str, manifest: dict, pool: BufferPool,
+                 result_cache_bytes: int | None = None):
         self.dirpath = dirpath
         self.manifest = manifest
         self.pool = pool
         self._open: dict[str, object] = {}    # name -> DiskVectorizedDocument
-        # Concurrency (repro.serve): lazy opens are serialized by
-        # ``_open_lock``; each member additionally gets an *evaluation
-        # lock* — a query's per-member accounting window (scan counters,
-        # physical-I/O deltas, lazy column/index materialization) lives on
-        # the shared document object, so at most one request evaluates a
-        # given member at a time.  Different members evaluate concurrently
-        # over the shared pool; page-level safety is the pool's job.
+        # Concurrency (repro.serve): any number of requests may evaluate
+        # the *same* member at once — per-query accounting (scan counts,
+        # physical-I/O windows) lives in each request's EvalContext, lazy
+        # column/index materialization is internally locked, and the
+        # shared NodeStore interns under its own lock — so there is no
+        # per-member evaluation lock.  ``_open_lock`` protects only the
+        # open-document table; the open I/O itself runs outside it behind
+        # a per-member opening latch, so one slow open never blocks opens
+        # (or lookups) of other members.
         self._open_lock = threading.Lock()
-        self._eval_locks: dict[str, threading.Lock] = {}
+        self._opening: dict[str, threading.Event] = {}
+        #: cross-request result cache (None = disabled, the library
+        #: default; the query service enables it)
+        self.result_cache = (ResultCache(result_cache_bytes)
+                             if result_cache_bytes else None)
+        # planning memo: query text -> catalog-pruning decision.  Pruning
+        # is pure manifest math, so it is cacheable for any repeated query
+        # regardless of the result cache — and it otherwise dominates the
+        # result cache's hit path.  Cleared whenever membership changes.
+        self._plan_memo: dict[tuple, object] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -178,7 +258,8 @@ class Repository:
 
     @classmethod
     def open(cls, dirpath: str, pool_pages: int | None = None,
-             verify: bool = True) -> "Repository":
+             verify: bool = True,
+             result_cache_bytes: int | None = None) -> "Repository":
         mpath = os.path.join(dirpath, MANIFEST)
         if not os.path.isfile(mpath):
             raise RepositoryError(f"{dirpath}: not a repository "
@@ -191,7 +272,8 @@ class Repository:
                 f"invalid repository manifest: not JSON ({exc})") from exc
         manifest = _check_manifest(raw)
         return cls(dirpath, manifest,
-                   BufferPool(capacity=pool_pages, verify=verify))
+                   BufferPool(capacity=pool_pages, verify=verify),
+                   result_cache_bytes=result_cache_bytes)
 
     def close(self) -> None:
         with self._open_lock:
@@ -266,6 +348,7 @@ class Repository:
 
         if name is None:
             name = os.path.splitext(os.path.basename(src))[0]
+        check_member_name(name)
         if any(m["name"] == name for m in self.manifest["members"]):
             raise RepositoryError(f"member {name!r} already exists")
         file = f"{name}.vdoc"
@@ -296,34 +379,86 @@ class Repository:
             self.manifest["members"].pop()
             os.unlink(dest)
             raise
+        self._plan_memo.clear()   # pruning decisions depend on membership
+        if self.result_cache is not None:
+            # explicit invalidation point: membership changed, so any
+            # cached response assembled under the old member set is gone
+            self.result_cache.clear()
         return name
 
     def member(self, name: str):
         """The named member, opened lazily over the shared pool (safe to
-        call from concurrent request threads; the open itself is
-        serialized so a member is never opened twice)."""
-        with self._open_lock:
-            vdoc = self._open.get(name)
-            if vdoc is None:
-                entry = self._entry(name)
-                path = os.path.join(self.dirpath, entry["file"])
-                try:
-                    vdoc = open_vdoc(path, pool=self.pool)
-                except (OSError, StorageError) as exc:
-                    raise StorageError(
-                        f"member {name!r} ({entry['file']}): {exc}") from exc
+        call from concurrent request threads; a member is never opened
+        twice).  The open's page I/O runs *outside* ``_open_lock`` behind
+        a per-member opening latch: concurrent openers of the same member
+        wait on the latch, while opens and lookups of other members
+        proceed — one slow or corrupt member never serializes the
+        repository."""
+        while True:
+            with self._open_lock:
+                vdoc = self._open.get(name)
+                if vdoc is not None:
+                    return vdoc
+                entry = self._entry(name)   # unknown member raises here
+                latch = self._opening.get(name)
+                if latch is None:
+                    latch = self._opening[name] = threading.Event()
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                # another thread is opening this member: wait, then
+                # re-check — on its success the table has the document,
+                # on its failure this thread retries as the new leader
+                latch.wait()
+                continue
+            path = os.path.join(self.dirpath, entry["file"])
+            try:
+                vdoc = open_vdoc(path, pool=self.pool)
+            except (OSError, StorageError) as exc:
+                with self._open_lock:
+                    del self._opening[name]
+                latch.set()
+                raise StorageError(
+                    f"member {name!r} ({entry['file']}): {exc}") from exc
+            with self._open_lock:
                 self._open[name] = vdoc
-        return vdoc
-
-    def member_eval_lock(self, name: str) -> threading.Lock:
-        """The per-member evaluation lock (created on first use)."""
-        with self._open_lock:
-            lock = self._eval_locks.get(name)
-            if lock is None:
-                lock = self._eval_locks[name] = threading.Lock()
-        return lock
+                del self._opening[name]
+            latch.set()
+            return vdoc
 
     # -- queries -----------------------------------------------------------
+
+    def _cache_key(self, name: str, kind: str, qtext: str,
+                   flags: tuple) -> tuple | None:
+        """The result-cache key of ``(member, query)`` — ``None`` when the
+        member file cannot be stat'ed.  Keyed on the file's identity
+        (name, mtime_ns, size), the *normalized* query text (whitespace
+        around the query carries no meaning; whitespace inside it may —
+        string literals — so normalization is ``strip()`` only) and the
+        evaluation flags, so any change to the underlying file or to how
+        the query is evaluated changes the key."""
+        entry = self._entry(name)
+        try:
+            st = os.stat(os.path.join(self.dirpath, entry["file"]))
+        except OSError:
+            return None
+        return (entry["file"], st.st_mtime_ns, st.st_size,
+                kind, qtext, *flags)
+
+    def _memoized(self, key: tuple | None, compute):
+        """Planning memo lookup: pure manifest math keyed by query text
+        (``key`` is None when the query has no stable text form).  Bounded
+        by wholesale reset — repeated queries are the case that matters."""
+        if key is None:
+            return compute()
+        hit = self._plan_memo.get(key)
+        if hit is None:
+            hit = compute()
+            if len(self._plan_memo) >= 512:
+                self._plan_memo.clear()
+            self._plan_memo[key] = hit
+        return hit
 
     def _member_order(self, gq) -> tuple[list[str], list[str]]:
         """Split members into ``(survivors, pruned)`` against the manifest
@@ -364,21 +499,35 @@ class Repository:
             raise XQCompileError(
                 f"query ranges over collection {gq.collection!r} but this "
                 f"repository is {self.name!r}")
+        cache = self.result_cache
+        qtext = query.strip() if isinstance(query, str) else None
+        flags = (batched, use_indexes)
         if prune:
-            order, pruned = self._member_order(gq)
+            order, pruned = self._memoized(
+                ("xq-order", qtext) if qtext is not None else None,
+                lambda: self._member_order(gq))
         else:
             order, pruned = self.members(), []
         ctx = EvalContext(strict_passes=batched)
-        by_name: dict[str, XQVXResult] = {}
+        by_name: dict[str, object] = {}
         for name in order:
+            key = (self._cache_key(name, "xq", qtext, flags)
+                   if cache is not None and qtext is not None else None)
+            if key is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    by_name[name] = CachedXQMember(*hit)
+                    continue
             vdoc = self.member(name)
             try:
-                with self.member_eval_lock(name):
-                    by_name[name] = eval_xq(vdoc, xq, batched=batched,
-                                            ctx=ctx,
-                                            use_indexes=use_indexes)
+                res = eval_xq(vdoc, xq, batched=batched, ctx=ctx,
+                              use_indexes=use_indexes)
             except StorageError as exc:
                 raise StorageError(f"member {name!r}: {exc}") from exc
+            if key is not None:
+                frag = res.fragment()
+                cache.put(key, (frag, res.n_tuples), len(frag))
+            by_name[name] = res
         results = [(name, by_name[name]) for name in self.members()
                    if name in by_name]
         return RepoXQResult(xq.root_tag, results, pruned)
@@ -388,22 +537,40 @@ class Repository:
         """Evaluate an XPath over every member; per-member ``VXResult``\\ s
         in member order.  With ``prune=True`` a member whose cataloged
         paths admit no alignment with the query steps is answered with an
-        empty result straight from the manifest (it is never opened)."""
+        empty result straight from the manifest (it is never opened).
+        When the result cache is enabled, a member hit is answered as a
+        :class:`CachedCount` (the ``count()`` reporting surface only)."""
         path: Path = parse_xpath(query)
+        cache = self.result_cache
+        qtext = query.strip()
         ctx = EvalContext()
+        prunable: frozenset = frozenset() if not prune else self._memoized(
+            ("xpath-prune", qtext),
+            lambda: frozenset(
+                m["name"] for m in self.manifest["members"]
+                if not any(_alignments(path.steps, tuple(p))
+                           for p, _ in m["paths"])))
         out: list[tuple[str, object]] = []
         for m in self.manifest["members"]:
             name = m["name"]
-            if prune and not any(_alignments(path.steps, tuple(p))
-                                 for p, _ in m["paths"]):
+            if name in prunable:
                 out.append((name, VXResult(None, [])))
                 continue
+            key = (self._cache_key(name, "xpath", qtext, ())
+                   if cache is not None else None)
+            if key is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    out.append((name, CachedCount(hit)))
+                    continue
             vdoc = self.member(name)
             try:
-                with self.member_eval_lock(name):
-                    out.append((name, eval_query(vdoc, path, ctx=ctx)))
+                res = eval_query(vdoc, path, ctx=ctx)
             except StorageError as exc:
                 raise StorageError(f"member {name!r}: {exc}") from exc
+            if key is not None:
+                cache.put(key, res.count(), 32)
+            out.append((name, res))
         return out
 
     # -- reporting ---------------------------------------------------------

@@ -1,0 +1,110 @@
+"""Cross-request result cache: a byte-bounded LRU over per-member results.
+
+Repository members are immutable once added (``add`` refuses existing
+names), so a member's evaluated result is fully determined by the member
+file's identity and the query — which is exactly what the cache key
+captures: ``(member file name, mtime_ns, size, normalized query text,
+evaluation flags)``.  Keying on ``(mtime_ns, size)`` makes staleness
+structurally impossible rather than policed: any out-of-band change to
+the file (a re-add into a fresh repository directory, a test tampering
+with bytes on disk) changes the key, so the old entry can never be
+*returned* — it just ages out of the LRU.  ``Repository.add``
+additionally clears the cache outright, the explicit invalidation point
+for manifest changes.
+
+Values are *serialized member fragments* (plus the tuple count), not
+live result objects: the serializer emits an element as ``<root>`` +
+the concatenation of its serialized children + ``</root>``, so a
+repository response can be assembled byte-identically from per-member
+fragments without re-evaluating or re-serializing anything — the
+property the cache-identity tests assert.
+
+Sizing is by payload bytes, not entry count, so one huge result cannot
+masquerade as "one entry" and pin the memory budget; an entry larger
+than the whole budget is simply not cached.  All counters
+(hits/misses/evictions/invalidations/bytes) are exposed for ``/stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+#: accounting overhead charged per entry on top of the payload bytes
+#: (key tuple, dict slot, counters) — keeps many tiny entries honest
+ENTRY_OVERHEAD = 128
+
+
+class ResultCache:
+    """A thread-safe LRU bounded by total payload bytes."""
+
+    def __init__(self, max_bytes: int):
+        if max_bytes < 1:
+            raise ValueError("result cache needs max_bytes >= 1")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple[object, int]]" = \
+            OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: tuple):
+        """The cached value, freshened to most-recently-used, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: tuple, value, nbytes: int) -> None:
+        """Insert ``value`` charged at ``nbytes`` payload bytes, evicting
+        least-recently-used entries until the budget holds.  A value
+        larger than the whole budget is not cached at all."""
+        cost = nbytes + ENTRY_OVERHEAD
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.bytes -= old[1]
+            if cost > self.max_bytes:
+                return
+            self._entries[key] = (value, cost)
+            self.bytes += cost
+            while self.bytes > self.max_bytes:
+                _, (_, freed) = self._entries.popitem(last=False)
+                self.bytes -= freed
+                self.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry (the ``repo add`` invalidation point);
+        returns how many were dropped."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self.bytes = 0
+            self.invalidations += n
+            return n
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """JSON-ready counters for ``/stats``."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self.bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

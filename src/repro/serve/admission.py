@@ -42,11 +42,15 @@ def size_inflight(workers: int, pool_capacity: int | None) -> int:
 
 class OverloadError(Exception):
     """The service is at capacity: queue full or queue wait timed out.
-    ``retry_after`` is the hint (seconds) for the HTTP 503 header."""
+    ``retry_after`` is the hint (seconds) for the HTTP 503 header;
+    ``cause`` attributes the 503 for metrics (``"admission"`` here,
+    ``"drain"`` when raised by a shutting-down server)."""
 
-    def __init__(self, message: str, retry_after: float = 1.0):
+    def __init__(self, message: str, retry_after: float = 1.0,
+                 cause: str = "admission"):
         super().__init__(message)
         self.retry_after = retry_after
+        self.cause = cause
 
 
 class AdmissionController:

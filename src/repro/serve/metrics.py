@@ -7,7 +7,11 @@ bounds, ~±20% quantile resolution over 50µs .. hours), which makes
 ``p50``/``p99`` O(buckets) to read and the memory footprint constant no
 matter how long the server runs.  Quantiles are reported as the upper
 bound of the bucket holding the target rank — a conservative estimate
-(never under-reports a latency regression).
+(never under-reports a latency regression).  A rank landing in the
+overflow bucket has **no** finite upper bound, so ``quantile`` returns
+``inf`` and ``as_dict`` reports ``null`` plus an explicit ``overflow``
+count — clamping it to the last bound (~148 s) would silently
+under-report exactly the latencies most worth alarming on.
 """
 
 from __future__ import annotations
@@ -39,7 +43,9 @@ class LatencyHistogram:
 
     def quantile(self, q: float) -> float:
         """Upper bound (seconds) of the bucket holding rank ``ceil(q*n)``;
-        0.0 before the first observation."""
+        0.0 before the first observation; ``inf`` when the rank falls in
+        the overflow bucket (an observation beyond the last bound has no
+        finite upper bound to report conservatively)."""
         if not self.n:
             return 0.0
         target = max(1, math.ceil(self.n * q))
@@ -47,16 +53,27 @@ class LatencyHistogram:
         for i, c in enumerate(self.counts):
             cum += c
             if cum >= target:
-                return _BOUNDS[min(i, len(_BOUNDS) - 1)]
-        return _BOUNDS[-1]
+                return _BOUNDS[i] if i < len(_BOUNDS) else math.inf
+        return math.inf
+
+    @property
+    def overflow(self) -> int:
+        """Observations beyond the last bucket bound (~148 s)."""
+        return self.counts[-1]
 
     def as_dict(self) -> dict:
-        ms = 1000.0
+        def _ms(seconds: float):
+            # inf is not representable in JSON: report null, with the
+            # explicit overflow count alongside as the marker
+            return None if math.isinf(seconds) else round(seconds * 1e3, 3)
+
         return {
             "count": self.n,
-            "mean_ms": round(self.total / self.n * ms, 3) if self.n else 0.0,
-            "p50_ms": round(self.quantile(0.50) * ms, 3),
-            "p99_ms": round(self.quantile(0.99) * ms, 3),
+            "mean_ms": round(self.total / self.n * 1e3, 3) if self.n
+            else 0.0,
+            "p50_ms": _ms(self.quantile(0.50)),
+            "p99_ms": _ms(self.quantile(0.99)),
+            "overflow": self.overflow,
         }
 
 
@@ -80,9 +97,18 @@ class Metrics:
         self._endpoints: dict[str, _Endpoint] = {}
         self.started = time.time()
         self.pin_leaks = 0       # per-request leaked-pin assertions tripped
-        self.overloads = 0       # 503s shed by admission control
+        # 503s attributed by cause — conflating them made every drain
+        # rejection and pool exhaustion look like admission pressure:
+        self.overloads = 0       # shed by admission control (queue/timeout)
+        self.drain_rejects = 0   # rejected during graceful shutdown
+        self.pool_exhausted = 0  # every pool frame pinned mid-query
 
-    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+    def observe(self, endpoint: str, status: int, seconds: float,
+                cause: str | None = None) -> None:
+        """Record one finished request.  For a 503, ``cause`` attributes
+        it: ``"admission"`` (or ``None``) counts as an overload shed,
+        ``"drain"`` as a shutdown rejection, ``"pool"`` as pool
+        exhaustion."""
         with self._lock:
             ep = self._endpoints.get(endpoint)
             if ep is None:
@@ -92,7 +118,12 @@ class Metrics:
             if status >= 400:
                 ep.errors += 1
             if status == 503:
-                self.overloads += 1
+                if cause == "drain":
+                    self.drain_rejects += 1
+                elif cause == "pool":
+                    self.pool_exhausted += 1
+                else:
+                    self.overloads += 1
             ep.latency.observe(seconds)
 
     def note_pin_leak(self) -> None:
@@ -118,5 +149,7 @@ class Metrics:
                                 for e in self._endpoints.values()),
                 "pin_leaks": self.pin_leaks,
                 "overloads": self.overloads,
+                "drain_rejects": self.drain_rejects,
+                "pool_exhausted": self.pool_exhausted,
                 "endpoints": endpoints,
             }

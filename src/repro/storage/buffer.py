@@ -144,6 +144,11 @@ class FileView:
         """Pool-wide pin count (pins are accounted globally)."""
         return self.pool.pinned_total()
 
+    def pages_read_local(self) -> int:
+        """The calling thread's physical reads, pool-wide (reads are
+        accounted per thread, not per file)."""
+        return self.pool.pages_read_local()
+
     def flush(self) -> None:
         self.pool.flush()
 
@@ -209,6 +214,20 @@ class BufferPool:
         those too)."""
         return getattr(self._tlocal, "pins", 0)
 
+    def _note_read(self, delta: int) -> None:
+        t = self._tlocal
+        t.reads = getattr(t, "reads", 0) + delta
+
+    def pages_read_local(self) -> int:
+        """Physical page reads performed *by the calling thread*, ever.
+
+        The per-request face of the bounded-physical-I/O invariant: a
+        materialization measures its own read cost as a delta of this
+        counter, so a concurrent thread faulting pages of the same (or any
+        other) chain never inflates the measurement — the pool-wide
+        ``stats.pages_read`` would."""
+        return getattr(self._tlocal, "reads", 0)
+
     # -- pinning -----------------------------------------------------------
 
     def pin_at(self, fid: int, pid: int) -> bytearray:
@@ -263,6 +282,7 @@ class BufferPool:
             frame.loading = False
             self.stats.pages_read += 1
             view.stats.pages_read += 1
+            self._note_read(1)
             frame.cond.notify_all()
         return buf
 

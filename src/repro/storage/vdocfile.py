@@ -38,12 +38,13 @@ import json
 import os
 import struct
 import tempfile
+import threading
 
 import numpy as np
 
 from ..core.skeleton import NodeStore
 from ..core.vdoc import VectorizedDocument
-from ..core.vectors import Vector
+from ..core.vectors import Vector, active_context
 from ..errors import CorruptDataError, StorageError
 from ..index import build_value_index, decode_segment, encode_segment
 from . import faults
@@ -89,47 +90,64 @@ class LazyVector(Vector):
     buffer pool; the resulting numpy column is cached, so the pass happens
     at most once per open document (``drop_cache()`` releases it, e.g. for
     cold-cache benchmarking).  ``pages_read`` counts the *physical* reads
-    charged to this vector — at most ``n_pages`` per materialization.
+    charged to this vector — at most ``n_pages`` per materialization —
+    measured as the materializing thread's own read delta
+    (:meth:`~repro.storage.buffer.BufferPool.pages_read_local`) so a
+    concurrent request faulting other pages never inflates it, and
+    reported to the thread's active evaluation context, which bounds it.
+    Concurrent first touches are serialized on a per-vector lock: one
+    thread materializes, the others reuse the published column.
     """
 
-    __slots__ = ("_heap", "_n")
+    __slots__ = ("_heap", "_n", "_mat_lock")
 
     def __init__(self, path: tuple, n: int, heap: HeapFile):
         self.path = path
         self._values = None
         self._floats = None
-        self.scan_count = 0
         self.pages_read = 0
         self.n_pages = heap.n_pages or 0
-        self._io_baseline = 0
         self._heap = heap
         self._n = n
+        self._mat_lock = threading.Lock()
 
     def __len__(self) -> int:  # no materialization just to count
         return self._n
 
     def _col(self) -> np.ndarray:
-        if self._values is None:
-            pool = self._heap.pool
-            before = pool.stats.pages_read
-            values = []
-            for i, rec in enumerate(self._heap.records()):
-                try:
-                    values.append(rec.decode("utf-8"))
-                except UnicodeDecodeError as exc:
-                    raise CorruptDataError(
-                        f"vector {'/'.join(self.path)}: value {i} is not "
-                        f"valid UTF-8 ({exc})") from exc
-            self.pages_read += pool.stats.pages_read - before
-            if len(values) != self._n:
+        col = self._values
+        if col is None:
+            with self._mat_lock:
+                col = self._values
+                if col is None:
+                    col = self._materialize()
+                    self._values = col
+        return col
+
+    def _materialize(self) -> np.ndarray:
+        pool = self._heap.pool
+        before = pool.pages_read_local()
+        values = []
+        for i, rec in enumerate(self._heap.records()):
+            try:
+                values.append(rec.decode("utf-8"))
+            except UnicodeDecodeError as exc:
                 raise CorruptDataError(
-                    f"vector {'/'.join(self.path)}: catalog says {self._n} "
-                    f"values, chain holds {len(values)}")
-            col = np.asarray(values, dtype=np.str_)
-            if col.dtype.kind != "U":
-                col = col.astype(np.str_)
-            self._values = col
-        return self._values
+                    f"vector {'/'.join(self.path)}: value {i} is not "
+                    f"valid UTF-8 ({exc})") from exc
+        read = pool.pages_read_local() - before
+        self.pages_read += read
+        ctx = active_context()
+        if ctx is not None:
+            ctx.note_io(self, read)
+        if len(values) != self._n:
+            raise CorruptDataError(
+                f"vector {'/'.join(self.path)}: catalog says {self._n} "
+                f"values, chain holds {len(values)}")
+        col = np.asarray(values, dtype=np.str_)
+        if col.dtype.kind != "U":
+            col = col.astype(np.str_)
+        return col
 
     def is_loaded(self) -> bool:
         return self._values is not None
@@ -149,15 +167,18 @@ class DiskValueIndex:
     materializes (and structurally validates) the
     :class:`~repro.index.ValueIndex` through the buffer pool in one
     sequential pass per chain and charges the physical reads here.  The
-    handle carries the same per-query I/O counters as a vector —
-    ``vdoc.io_units()`` includes it, so the engine's scan-once /
-    bounded-physical-I/O assertions cover index probes too.  ``distinct``
+    handle carries the same accounting surface as a vector (``path``,
+    cumulative ``pages_read``, ``n_pages``) — ``vdoc.io_units()`` includes
+    it, so the per-context scan-once / bounded-physical-I/O assertions
+    cover index probes too: a materialization reports one scan and its
+    thread-local read delta to the active evaluation context, under the
+    same per-handle lock discipline as :class:`LazyVector`.  ``distinct``
     comes from the catalog: the planner prices a probe without I/O.
     """
 
-    __slots__ = ("path", "vpath", "distinct", "n_buckets", "scan_count",
-                 "pages_read", "n_pages", "_io_baseline", "_keys_heap",
-                 "_data_heap", "_n", "_vi")
+    __slots__ = ("path", "vpath", "distinct", "n_buckets",
+                 "pages_read", "n_pages", "_keys_heap",
+                 "_data_heap", "_n", "_vi", "_mat_lock")
 
     def __init__(self, vpath: tuple, n: int, entry: dict, view):
         self.vpath = vpath
@@ -172,40 +193,45 @@ class DiskValueIndex:
                                    n_pages=entry["data_pages"])
         self._n = n
         self._vi = None
-        self.scan_count = 0
         self.pages_read = 0
         self.n_pages = entry["keys_pages"] + entry["data_pages"]
-        self._io_baseline = 0
+        self._mat_lock = threading.Lock()
 
     def get(self):
         """The probe-able index, materialized on first use."""
-        if self._vi is None:
-            pool = self._keys_heap.pool
-            before = pool.stats.pages_read
-            keys = list(self._keys_heap.records())
-            data = list(self._data_heap.records())
-            self.pages_read += pool.stats.pages_read - before
-            self.scan_count += 1
-            vi = decode_segment(self.vpath, self._n, keys, data)
-            if vi.distinct != self.distinct:
-                raise CorruptDataError(
-                    f"vindex {'/'.join(self.vpath)}: catalog says "
-                    f"{self.distinct} distinct keys, segment holds "
-                    f"{vi.distinct}")
-            self._vi = vi
-        return self._vi
+        vi = self._vi
+        if vi is None:
+            with self._mat_lock:
+                vi = self._vi
+                if vi is None:
+                    vi = self._materialize()
+                    self._vi = vi
+        return vi
+
+    def _materialize(self):
+        pool = self._keys_heap.pool
+        before = pool.pages_read_local()
+        keys = list(self._keys_heap.records())
+        data = list(self._data_heap.records())
+        read = pool.pages_read_local() - before
+        self.pages_read += read
+        ctx = active_context()
+        if ctx is not None:
+            ctx.note_scan(self)
+            ctx.note_io(self, read)
+        vi = decode_segment(self.vpath, self._n, keys, data)
+        if vi.distinct != self.distinct:
+            raise CorruptDataError(
+                f"vindex {'/'.join(self.vpath)}: catalog says "
+                f"{self.distinct} distinct keys, segment holds "
+                f"{vi.distinct}")
+        return vi
 
     def is_loaded(self) -> bool:
         return self._vi is not None
 
     def drop_cache(self) -> None:
         self._vi = None
-
-    def reset_io_window(self) -> None:
-        self._io_baseline = self.pages_read
-
-    def pages_read_in_window(self) -> int:
-        return self.pages_read - self._io_baseline
 
 
 class DiskVectorizedDocument(VectorizedDocument):

@@ -6,6 +6,7 @@ leak checks after every query (the PR's acceptance criteria)."""
 import numpy as np
 import pytest
 
+from repro.core.context import EvalContext
 from repro.core.engine import eval_query, eval_xq
 from repro.core.vdoc import VectorizedDocument
 from repro.datasets.synth import xmark_like_xml
@@ -72,26 +73,30 @@ def test_stats_match_memory(saved, mem):
 @pytest.mark.parametrize("query", XPATH_QUERIES)
 def test_xpath_identical_to_memory_under_small_pool(saved, mem, query):
     with _open_small(saved) as disk:
+        ctx = EvalContext.for_doc(disk)
         r_mem = eval_query(mem, query, mode="vx")
-        r_disk = eval_query(disk, query, mode="vx")
+        r_disk = eval_query(disk, query, mode="vx", ctx=ctx)
         assert r_disk.count() == r_mem.count()
         assert r_disk.text_values() == r_mem.text_values()
         assert r_disk.canonical() == r_mem.canonical()
         # pin-count leak check after every query
         assert disk.pool.pinned_total() == 0
-        # <= 1 full page pass per touched vector, against physical reads
+        # <= 1 full page pass per touched vector, against the physical
+        # reads this context performed
         for v in disk.vectors.values():
-            assert v.pages_read_in_window() <= v.n_pages
+            assert ctx.pages_in_window(v) <= v.n_pages
 
 
 def test_xq_join_identical_to_memory_under_small_pool(saved, mem):
     with _open_small(saved) as disk:
         total_pages = sum(v.n_pages for v in disk.vectors.values())
         assert disk.pool.capacity < total_pages  # pool < total vector pages
-        assert eval_xq(disk, XQ_JOIN).to_xml() == eval_xq(mem, XQ_JOIN).to_xml()
+        ctx = EvalContext.for_doc(disk)
+        assert eval_xq(disk, XQ_JOIN, ctx=ctx).to_xml() \
+            == eval_xq(mem, XQ_JOIN).to_xml()
         assert disk.pool.pinned_total() == 0
         for v in disk.vectors.values():
-            assert v.pages_read_in_window() <= v.n_pages
+            assert ctx.pages_in_window(v) <= v.n_pages
 
 
 def test_naive_mode_on_disk_document(saved, mem):
@@ -145,18 +150,19 @@ def test_engine_flags_page_overread(saved):
     engine's I/O variant of the scan-once assertion."""
     with _open_small(saved) as disk:
         vec = disk.vectors[("site", "people", "person", "profile", "age", "#")]
-        original = disk.reset_scan_counts
+        ctx = EvalContext.for_doc(disk)
+        original_begin = ctx.begin
 
-        def tampered_reset():
-            original()
-            vec.pages_read = vec._io_baseline + vec.n_pages + 1
+        def tampered_begin(doc):
+            # simulate a buggy evaluator that re-reads the chain: seed the
+            # fresh window with more pages than one full pass
+            original_begin(doc)
+            ctx.note_io(vec, vec.n_pages + 1)
 
-        disk.reset_scan_counts = tampered_reset
-        try:
-            with pytest.raises(EngineInvariantError, match="chain pass"):
-                eval_query(disk, "/site/people/person[profile/age = '32']")
-        finally:
-            disk.reset_scan_counts = original
+        ctx.begin = tampered_begin
+        with pytest.raises(EngineInvariantError, match="chain pass"):
+            eval_query(disk, "/site/people/person[profile/age = '32']",
+                       ctx=ctx)
 
 
 def test_engine_flags_pin_leak(saved):

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 import repro.core.reconstruct as reconstruct_mod
+from repro.core.context import EvalContext
 from repro.core.engine import eval_query
 from repro.core.reconstruct import forbid_decompression
 from repro.core.vdoc import VectorizedDocument
@@ -36,19 +37,23 @@ def test_vx_never_decompresses(vdoc, query):
 
 @pytest.mark.parametrize("query", QUERIES)
 def test_vx_scans_each_vector_at_most_once(vdoc, query):
-    eval_query(vdoc, query, mode="vx")
-    assert all(v.scan_count <= 1 for v in vdoc.vectors.values())
+    ctx = EvalContext.for_doc(vdoc)
+    eval_query(vdoc, query, mode="vx", ctx=ctx)
+    assert all(c <= 1 for c in ctx.scan_counts(vdoc).values())
 
 
 def test_vx_touches_only_predicate_vectors(vdoc):
-    eval_query(vdoc, "/site/people/person[profile/age = '32']/name", mode="vx")
-    touched = {p for p, v in vdoc.vectors.items() if v.scan_count}
+    ctx = EvalContext.for_doc(vdoc)
+    eval_query(vdoc, "/site/people/person[profile/age = '32']/name",
+               mode="vx", ctx=ctx)
+    touched = {p for p, c in ctx.scan_counts(vdoc).items() if c}
     assert touched == {("site", "people", "person", "profile", "age", "#")}
 
 
 def test_existence_predicate_touches_no_vector(vdoc):
-    eval_query(vdoc, "//person[phone]/name", mode="vx")
-    assert not any(v.scan_count for v in vdoc.vectors.values())
+    ctx = EvalContext.for_doc(vdoc)
+    eval_query(vdoc, "//person[phone]/name", mode="vx", ctx=ctx)
+    assert not any(ctx.scan_counts(vdoc).values())
 
 
 def test_forbid_decompression_guard(vdoc):
@@ -65,20 +70,28 @@ def test_naive_mode_decompresses_exactly_once(vdoc):
 
 
 def test_engine_flags_double_scans(vdoc):
-    # Force a scan before evaluation so the per-query counter trips: the
-    # engine resets counters itself, so simulate a buggy evaluator by
-    # monkeypatching reset to a no-op.
-    vdoc.reset_scan_counts()
+    # Simulate a buggy evaluator that scans a vector twice: seed the
+    # context's fresh accounting window with extra scans right after the
+    # guard opens it, so the post-query scan-once assertion trips.
+    ctx = EvalContext.for_doc(vdoc)
     vec = vdoc.vectors[("site", "people", "person", "profile", "age", "#")]
-    vec.scan_count = 2
-    original = vdoc.reset_scan_counts
-    vdoc.reset_scan_counts = lambda: None
-    try:
-        with pytest.raises(EngineInvariantError):
-            eval_query(vdoc, "/site/people/person[profile/age = '32']", mode="vx")
-    finally:
-        vdoc.reset_scan_counts = original
-        vdoc.reset_scan_counts()
+    original_begin = ctx.begin
+
+    def tampered_begin(doc):
+        original_begin(doc)
+        ctx.note_scan(vec)
+        ctx.note_scan(vec)
+
+    ctx.begin = tampered_begin
+    with pytest.raises(EngineInvariantError):
+        eval_query(vdoc, "/site/people/person[profile/age = '32']",
+                   mode="vx", ctx=ctx)
+    # the accounting lives on the context, not the document: a fresh
+    # context over the same shared vectors is clean
+    fresh = EvalContext.for_doc(vdoc)
+    eval_query(vdoc, "/site/people/person[profile/age = '32']",
+               mode="vx", ctx=fresh)
+    assert all(c <= 1 for c in fresh.scan_counts(vdoc).values())
 
 
 def test_unknown_mode_rejected(vdoc):

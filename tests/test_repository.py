@@ -111,6 +111,52 @@ def test_add_existing_vdoc_and_errors(tmp_path):
     repo.close()
 
 
+def test_add_rejects_unsafe_member_names(tmp_path):
+    """Member names are validated at the membership boundary: a traversal
+    name must never be turned into a path outside the repository, and a
+    comma or CR/LF must never reach the comma-joined X-Pruned header."""
+    d = str(tmp_path / "repo")
+    repo = Repository.init(d, "auctions")
+    src = tmp_path / "ok.xml"
+    src.write_text("<r><a>1</a></r>", encoding="utf-8")
+    for bad in ("../evil", "a/b", "a\\b", "a,b", "a\r\nb", "a b",
+                ".hidden", "..", "", 42):
+        with pytest.raises(RepositoryError, match="invalid member name"):
+            repo.add(str(src), name=bad)
+    assert repo.members() == []
+    # rejection happened before any file was written — in particular no
+    # 'evil.vdoc' escaped into the parent directory
+    assert os.listdir(d) == [MANIFEST]
+    assert not os.path.exists(str(tmp_path / "evil.vdoc"))
+
+    # names covering the full allowed alphabet still work, including an
+    # *interior* dot
+    repo.add(str(src), name="ok-1.2_X")
+    assert repo.members() == ["ok-1.2_X"]
+    repo.close()
+
+    # a default name derived from the filename passes through the same check
+    evil = tmp_path / "not a slug!.xml"
+    evil.write_text("<r/>", encoding="utf-8")
+    with Repository.open(d) as repo:
+        with pytest.raises(RepositoryError, match="invalid member name"):
+            repo.add(str(evil))
+
+
+def test_manifest_rejects_unsafe_member_names(tmp_path):
+    """A hand-edited manifest with a traversal member name is refused at
+    open — the slug check guards both ends."""
+    repo = make_repo(tmp_path)
+    d = repo.dirpath
+    repo.close()
+    mpath = os.path.join(d, MANIFEST)
+    man = json.load(open(mpath, encoding="utf-8"))
+    man["members"][0]["name"] = "../evil"
+    json.dump(man, open(mpath, "w", encoding="utf-8"))
+    with pytest.raises(RepositoryError, match="not a safe slug"):
+        Repository.open(d)
+
+
 def test_manifest_schema_is_strict(tmp_path):
     repo = make_repo(tmp_path)
     d = repo.dirpath

@@ -4,6 +4,8 @@ and corruption staying confined to the member it hit."""
 
 import http.client
 import json
+import math
+import socket
 import threading
 
 import pytest
@@ -158,6 +160,12 @@ def test_16_concurrent_clients_byte_identical_and_clean(server, repo_dir,
         t.join()
     assert not failures
 
+    # metrics are observed after the response bytes go out — poll
+    def _counted() -> bool:
+        eps = server.stats_snapshot()["endpoints"]
+        return (eps["/xq"]["by_status"].get("200") == 16 * 4
+                and eps["/xpath"]["by_status"].get("200") == 16 * 2)
+    _wait_for(_counted)
     snap = server.stats_snapshot()
     assert snap["pin_leaks"] == 0             # per-request isolation held
     assert snap["pool"]["pinned"] == 0        # nothing left pinned
@@ -212,6 +220,79 @@ def test_corrupt_member_fails_by_name_siblings_stay_queryable(repo_dir,
         snap = srv.stats_snapshot()
         assert snap["pin_leaks"] == 0        # the failure leaked nothing
         assert snap["pool"]["pinned"] == 0
+    finally:
+        srv.shutdown()
+
+
+# -- request framing and 503 attribution -------------------------------------
+
+
+def test_truncated_body_is_400(server):
+    """A client that dies mid-body must not have its truncated prefix
+    evaluated as a (different, valid) query."""
+    host, port = server.address
+    with socket.create_connection((host, port), timeout=10) as s:
+        s.sendall(b"POST /xq HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n"
+                  b"Connection: close\r\n\r\n/site/people")
+        s.shutdown(socket.SHUT_WR)       # disconnect after 12 of 50 bytes
+        data = b""
+        while chunk := s.recv(4096):
+            data += chunk
+    status_line = data.split(b"\r\n", 1)[0]
+    assert b" 400 " in status_line
+    assert b"truncated body: got 12 of 50" in data
+
+
+def test_drain_503_attributed_separately(repo_dir):
+    srv = QueryServer(repo_dir, port=0, pool_pages=64, workers=2).start()
+    try:
+        srv.draining = True
+        status, body, headers = _request(srv, "POST", "/xq", XQ_SITE)
+        assert status == 503 and b"shutting down" in body
+        assert int(headers["Retry-After"]) >= 1
+        # metrics are recorded just after the response bytes go out: wait
+        # for the handler thread to reach the observe call
+        _wait_for(lambda: srv.stats_snapshot()["drain_rejects"] == 1)
+        snap = srv.stats_snapshot()
+        # a drain rejection is not admission pressure: it must not count
+        # as an overload shed
+        assert snap["drain_rejects"] == 1
+        assert snap["overloads"] == 0 and snap["pool_exhausted"] == 0
+        srv.draining = False
+        status, _, _ = _request(srv, "POST", "/xq", XQ_SITE)
+        assert status == 200
+    finally:
+        srv.shutdown()
+
+
+def test_unknown_post_latency_is_measured(server):
+    status, _, _ = _request(server, "POST", "/nowhere", "x")
+    assert status == 404
+    _wait_for(lambda: "*unknown*" in server.stats_snapshot()["endpoints"])
+    ep = server.stats_snapshot()["endpoints"]["*unknown*"]
+    assert ep["by_status"] == {"404": 1}
+    # the 404 is measured like every other request, not logged as 0.0
+    assert ep["mean_ms"] > 0.0
+
+
+def test_result_cache_hits_are_byte_identical(server):
+    _, cold, _ = _request(server, "POST", "/xq", XQ_SITE)
+    _, warm, _ = _request(server, "POST", "/xq", XQ_SITE)
+    assert warm == cold
+    rc = server.stats_snapshot()["result_cache"]
+    assert rc is not None
+    assert rc["hits"] >= 1 and rc["misses"] >= 1
+    assert rc["entries"] >= 1 and 0.0 < rc["hit_rate"] <= 1.0
+
+
+def test_result_cache_can_be_disabled(repo_dir):
+    srv = QueryServer(repo_dir, port=0, pool_pages=64, workers=2,
+                      result_cache_mb=0).start()
+    try:
+        _, cold, _ = _request(srv, "POST", "/xq", XQ_SITE)
+        _, warm, _ = _request(srv, "POST", "/xq", XQ_SITE)
+        assert warm == cold
+        assert srv.stats_snapshot()["result_cache"] is None
     finally:
         srv.shutdown()
 
@@ -287,3 +368,26 @@ def test_latency_histogram_quantiles():
     assert h.quantile(0.5) <= h.quantile(0.9) <= h.quantile(0.99)
     d = h.as_dict()
     assert d["count"] == 10 and d["p99_ms"] >= d["p50_ms"]
+    assert d["overflow"] == 0
+
+
+def test_latency_histogram_overflow_is_explicit():
+    # a rank landing in the overflow bucket has no finite upper bound:
+    # clamping it to the last bound would under-report the worst latencies
+    h = LatencyHistogram()
+    h.observe(0.001)
+    h.observe(200.0)          # beyond the ~148 s last bucket bound
+    assert h.overflow == 1
+    assert h.quantile(0.5) < 1.0          # finite: rank 1 is the 1 ms obs
+    assert math.isinf(h.quantile(0.99))   # rank 2 is the overflow obs
+    d = h.as_dict()
+    assert d["p50_ms"] is not None
+    assert d["p99_ms"] is None            # inf is reported as null...
+    assert d["overflow"] == 1             # ...with the explicit marker
+
+
+def test_latency_histogram_all_overflow():
+    h = LatencyHistogram()
+    h.observe(500.0)
+    assert math.isinf(h.quantile(0.5))
+    assert h.as_dict()["p50_ms"] is None and h.as_dict()["overflow"] == 1

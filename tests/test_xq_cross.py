@@ -12,6 +12,7 @@ import random
 import pytest
 
 from repro.core import reconstruct as reconstruct_mod
+from repro.core.context import EvalContext
 from repro.core.engine import eval_xq
 from repro.core.vdoc import VectorizedDocument
 from repro.datasets.synth import xmark_like_xml
@@ -138,14 +139,16 @@ def test_xq_result_shares_store_and_compresses_stepwise():
 def test_xq_vx_forbids_decompression_and_counts_scans():
     vdoc = VectorizedDocument.from_xml(xmark_like_xml(25, seed=2))
     base = reconstruct_mod.DECOMPRESSION_COUNT
+    ctx = EvalContext.for_doc(vdoc)
     res = eval_xq(vdoc, "for $c in //closed_auction, $p in //person "
                         "where $c/buyer = $p/@id and $p/profile/age > '30' "
-                        "return <r>{$p/name}{$c/price}</r>")
+                        "return <r>{$p/name}{$c/price}</r>", ctx=ctx)
     # reduction + construction decompress nothing ...
     assert reconstruct_mod.DECOMPRESSION_COUNT == base
     # ... and no input vector was scanned more than once for the whole query
-    assert all(v.scan_count <= 1 for v in vdoc.vectors.values())
-    assert any(v.scan_count == 1 for v in vdoc.vectors.values())
+    counts = ctx.scan_counts(vdoc)
+    assert all(c <= 1 for c in counts.values())
+    assert any(c == 1 for c in counts.values())
     # serializing the *result* decompresses only the result document
     res.to_xml()
     assert reconstruct_mod.DECOMPRESSION_COUNT == base + 1
