@@ -1,0 +1,461 @@
+#!/usr/bin/env python
+"""Live-server chaos harness: fault-injected serving must stay correct.
+
+A temporary repository (XMark-like members) is served **in-process** by
+:class:`repro.serve.server.QueryServer` with a deterministic
+:class:`repro.storage.faults.FaultInjector` driving the shared buffer
+pool's physical reads — transient ``OSError``\\ s (absorbed by the
+pool's bounded retry), flipped bits and torn reads (caught by the page
+CRC, quarantining the member) — while 16 concurrent clients hammer the
+query endpoints over real HTTP.  The harness asserts the service's
+fault-tolerance **property**, not a speed:
+
+* every response is either **byte-exact** against the clean in-process
+  answer, or **degraded-and-flagged** (200 + ``X-Quarantined``), or a
+  clean **attributed failure** (400/503/504/500 with an ``error:`` body)
+  — never wrong bytes, never an unattributed error, never a hang
+  (client sockets time out; worker threads that fail to finish inside
+  the watchdog budget are counted as hangs and fail the run);
+* per-request deadlines fire: after recovery, probes carrying a tiny
+  ``X-Deadline-Ms`` against the healthy server come back 504 (storm
+  probes are only *counted* — a fully-quarantined instant answer can
+  legitimately beat even a 200µs budget);
+* after the injector is paused, the quarantine **drains**: the
+  supervisor's re-verify finds the (never actually damaged) files
+  clean, reinstates every member, and responses are byte-exact again;
+* a **real** on-disk corruption quarantines its member deterministically
+  on a fresh server (500 naming the member, then degraded 200s,
+  ``degraded`` on ``/healthz`` and ``GET /repo``), and repairing the
+  file on disk heals the service *without a restart* — the supervisor
+  reinstates the member and answers are byte-exact once more;
+* the drained servers exit with **zero leaked pins and zero pinned
+  pages**; the pool's ``read_retries`` counter is reported (the retry
+  path itself is asserted deterministically by the unit tests).
+
+Results (counters, not timings) go to ``CHAOS_serve.json``;
+``gate.py --chaos-check`` re-asserts the properties in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import pathlib
+import socket
+import sys
+import tempfile
+import threading
+import time
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro import __version__  # noqa: E402
+from repro.datasets.synth import xmark_like_xml  # noqa: E402
+from repro.repo import Repository  # noqa: E402
+from repro.serve.server import QueryServer  # noqa: E402
+from repro.storage import faults  # noqa: E402
+from repro.storage.faults import FaultInjector  # noqa: E402
+
+#: the served workload (endpoint, query), cycled by every client
+WORKLOAD = [
+    ("/xq",
+     "for $p in /site/people/person where $p/profile/age >= '60' "
+     "return <r>{$p/name}</r>"),
+    ("/xq",
+     "for $c in /site/closed_auctions/closed_auction, "
+     "$p in /site/people/person where $c/buyer = $p/@id "
+     "and $p/profile/age > '40' return <pair>{$p/name}{$c/price}</pair>"),
+    ("/xpath", "/site/people/person/name"),
+    ("/xpath", "//item/location"),
+]
+
+N_CLIENTS = 16
+#: every Nth storm request carries a ~0.2ms X-Deadline-Ms: a guaranteed
+#: 504 probe (no query evaluates in 200µs)
+DEADLINE_EVERY = 8
+#: overall worker-thread watchdog (seconds); stragglers count as hangs
+WATCHDOG_S = 120.0
+
+
+def build_repo(workdir: str, member_sizes: list[int],
+               page_size: int = 1024) -> str:
+    """A repository of XMark-like members with small pages (more pages =
+    more physical reads = more fault opportunities)."""
+    repo_dir = os.path.join(workdir, "repo")
+    repo = Repository.init(repo_dir, "chaos")
+    for i, n_people in enumerate(member_sizes):
+        xml_path = os.path.join(workdir, f"m{i}.xml")
+        pathlib.Path(xml_path).write_text(
+            xmark_like_xml(n_people, seed=700 + i), encoding="utf-8")
+        repo.add(xml_path, name=f"m{i}", page_size=page_size)
+    repo.close()
+    return repo_dir
+
+
+def expected_bodies(repo_dir: str) -> list[bytes]:
+    """Clean in-process answers — the byte-exactness reference."""
+    out = []
+    with Repository.open(repo_dir) as repo:
+        for endpoint, query in WORKLOAD:
+            if endpoint == "/xq":
+                out.append((repo.xq(query).to_xml() + "\n").encode())
+            else:
+                lines = [f"{name}: count {res.count()}"
+                         for name, res in repo.xpath(query)]
+                out.append(("\n".join(lines) + "\n").encode())
+    return out
+
+
+class Client:
+    """One keep-alive HTTP connection; returns full (status, headers,
+    body) triples so the harness can attribute every outcome."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        self.conn.connect()
+        self.conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def post(self, endpoint: str, body: str,
+             headers: dict | None = None) -> tuple[int, dict, bytes]:
+        self.conn.request("POST", endpoint, body=body.encode("utf-8"),
+                          headers=headers or {})
+        resp = self.conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+
+    def get(self, path: str) -> tuple[int, dict, bytes]:
+        self.conn.request("GET", path)
+        resp = self.conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def classify(counts: dict, k: int, status: int, headers: dict,
+             body: bytes, expected: list[bytes],
+             failures: list[str]) -> None:
+    """Bucket one response; anything outside the allowed shapes is a
+    property violation recorded in ``failures``."""
+    if status == 200:
+        if headers.get("X-Quarantined"):
+            counts["degraded"] += 1
+        elif body == expected[k]:
+            counts["ok"] += 1
+        else:
+            counts["wrong_bytes"] += 1
+            failures.append(
+                f"200 body diverged on workload[{k}] "
+                f"(got {len(body)} bytes)")
+        return
+    if not body.startswith(b"error:"):
+        counts["unattributed"] += 1
+        failures.append(f"{status} without an error body: {body[:80]!r}")
+        return
+    if status == 504:
+        counts["deadline_504"] += 1
+    elif status == 503:
+        counts["overload_503"] += 1
+    elif status == 500:
+        counts["storage_500"] += 1
+    elif 400 <= status < 500:
+        counts["client_4xx"] += 1
+    else:
+        counts["unattributed"] += 1
+        failures.append(f"unexpected status {status}: {body[:80]!r}")
+
+
+def storm(srv: QueryServer, expected: list[bytes], n_requests: int,
+          counts: dict, failures: list[str]) -> None:
+    """16 concurrent clients under active fault injection."""
+    host, port = srv.address
+
+    def worker(idx: int) -> None:
+        cli = Client(host, port)
+        try:
+            for r in range(n_requests):
+                k = (idx + r) % len(WORKLOAD)
+                endpoint, query = WORKLOAD[k]
+                hdrs = {}
+                if (idx + r) % DEADLINE_EVERY == 0:
+                    hdrs["X-Deadline-Ms"] = "0.2"
+                status, headers, body = cli.post(endpoint, query, hdrs)
+                with lock:
+                    counts["requests"] += 1
+                    if hdrs and status == 504:
+                        counts["deadline_504"] += 1
+                    else:
+                        classify(counts, k, status, headers, body,
+                                 expected, failures)
+        except Exception as exc:  # noqa: BLE001 - a client death is a finding
+            with lock:
+                counts["unattributed"] += 1
+                failures.append(f"client {idx} died: {exc!r}")
+        finally:
+            cli.close()
+
+    lock = threading.Lock()
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(N_CLIENTS)]
+    deadline = time.monotonic() + WATCHDOG_S
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=max(0.0, deadline - time.monotonic()))
+        if t.is_alive():
+            counts["hangs"] += 1
+            failures.append("worker thread hung past the watchdog")
+
+
+def wait_until(pred, timeout: float, poll: float = 0.05) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if pred():
+            return True
+        time.sleep(poll)
+    return bool(pred())
+
+
+def verify_exact(srv: QueryServer, expected: list[bytes]) -> list[str]:
+    """Sequential pass: every workload answer byte-exact, undegraded."""
+    host, port = srv.address
+    cli = Client(host, port)
+    problems = []
+    try:
+        for k, (endpoint, query) in enumerate(WORKLOAD):
+            status, headers, body = cli.post(endpoint, query)
+            if status != 200 or headers.get("X-Quarantined") \
+                    or body != expected[k]:
+                problems.append(
+                    f"workload[{k}] not byte-exact after recovery "
+                    f"(status {status}, quarantined "
+                    f"{headers.get('X-Quarantined')!r})")
+    finally:
+        cli.close()
+    return problems
+
+
+def corrupt_file(path: str, page_size: int = 1024) -> bytes:
+    """Flip one byte in the middle of every page past the header pages;
+    returns the original bytes for repair."""
+    original = pathlib.Path(path).read_bytes()
+    buf = bytearray(original)
+    for off in range(4 * page_size + page_size // 2, len(buf), page_size):
+        buf[off] ^= 0x40
+    pathlib.Path(path).write_bytes(bytes(buf))
+    return original
+
+
+def corruption_cycle(repo_dir: str, expected: list[bytes], pool: int,
+                     failures: list[str]) -> dict:
+    """Deterministic quarantine → repair → reinstate on a fresh server
+    (fresh pool + lazy opens, so the on-disk corruption is actually
+    read).  No injector involved — this is real damage."""
+    member_file = os.path.join(repo_dir, "m0.vdoc")
+    original = corrupt_file(member_file)
+    srv = QueryServer(repo_dir, port=0, pool_pages=pool,
+                      workers=4, result_cache_mb=0.0)
+    srv.repo.quarantine.base_delay = 0.1
+    srv.repo.quarantine.max_delay = 1.0
+    srv.start()
+    out = {"quarantined_500": 0, "degraded_200": 0}
+    try:
+        host, port = srv.address
+        cli = Client(host, port)
+        try:
+            # first touch: the corrupt member fails the query and is
+            # quarantined (500 naming it) — unless open-time validation
+            # quarantined it already, in which case it is skipped (200)
+            status, headers, body = cli.post(*WORKLOAD[0])
+            if status == 500 and b"m0" in body:
+                out["quarantined_500"] += 1
+            elif not (status == 200 and "m0" in
+                      headers.get("X-Quarantined", "")):
+                failures.append(
+                    f"corrupt member neither failed nor was skipped: "
+                    f"{status} {body[:80]!r}")
+            if not wait_until(
+                    lambda: srv.repo.quarantine.is_quarantined("m0"), 5.0):
+                failures.append("corrupt member was never quarantined")
+            # degraded serving: flagged 200s, degraded health + manifest
+            status, headers, body = cli.post(*WORKLOAD[0])
+            if status == 200 and "m0" in headers.get("X-Quarantined", ""):
+                out["degraded_200"] += 1
+            else:
+                failures.append(
+                    f"expected degraded 200 while quarantined, got "
+                    f"{status} (X-Quarantined "
+                    f"{headers.get('X-Quarantined')!r})")
+            _, _, health = cli.get("/healthz")
+            if b"degraded" not in health:
+                failures.append(f"/healthz not degraded: {health!r}")
+            _, _, repo_body = cli.get("/repo")
+            if not json.loads(repo_body).get("degraded"):
+                failures.append("GET /repo does not flag degraded")
+
+            # repair on disk; the supervisor reinstates without restart
+            pathlib.Path(member_file).write_bytes(original)
+            if not wait_until(
+                    lambda: not srv.repo.quarantine.active(), 15.0):
+                failures.append(
+                    "repaired member was never reinstated "
+                    f"(snapshot {srv.repo.quarantine.snapshot()})")
+            _, _, health = cli.get("/healthz")
+            if health != b"ok\n":
+                failures.append(
+                    f"/healthz not ok after reinstatement: {health!r}")
+        finally:
+            cli.close()
+        failures.extend(verify_exact(srv, expected))
+    finally:
+        final = srv.shutdown()
+    if final["pin_leaks"] or final["pool"]["pinned"]:
+        failures.append("corruption-cycle server left pins behind")
+    out["quarantine"] = final["quarantine"]
+    out["final_stats"] = final
+    if final["quarantine"]["reinstated_total"] < 1:
+        failures.append("corruption cycle reinstated no member")
+    return out
+
+
+def run(member_sizes: list[int], pool: int, n_requests: int, rate: float,
+        seed: int, out_path: str) -> int:
+    counts = {"requests": 0, "ok": 0, "degraded": 0, "wrong_bytes": 0,
+              "deadline_504": 0, "overload_503": 0, "storage_500": 0,
+              "client_4xx": 0, "unattributed": 0, "hangs": 0}
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="chaos-serve-") as workdir:
+        print(f"building repository (members: {member_sizes} people)")
+        repo_dir = build_repo(workdir, member_sizes)
+        expected = expected_bodies(repo_dir)
+
+        injector = FaultInjector(seed=seed, rate=rate)
+        print(f"storm: {N_CLIENTS} clients x {n_requests} requests, "
+              f"injecting at {rate:.0%} of reads (seed {seed})")
+        with faults.inject(injector):
+            srv = QueryServer(repo_dir, port=0, pool_pages=pool,
+                              workers=N_CLIENTS, result_cache_mb=0.0)
+            srv.repo.quarantine.base_delay = 0.1
+            srv.repo.quarantine.max_delay = 1.0
+            srv.start()
+            try:
+                storm(srv, expected, n_requests, counts, failures)
+                print("storm outcomes: " + json.dumps(counts))
+                print(f"injector fired: ops={injector.ops} "
+                      f"{dict(injector.by_kind)}")
+
+                # recovery: stop injecting; the supervisor's probes now
+                # find clean files and must drain the quarantine
+                injector.pause()
+                if not wait_until(
+                        lambda: not srv.repo.quarantine.active(), 20.0):
+                    failures.append(
+                        "quarantine did not drain after faults stopped: "
+                        f"{srv.repo.quarantine.snapshot()}")
+                failures.extend(verify_exact(srv, expected))
+
+                # deterministic deadline probes against the recovered
+                # server: the join queries cannot finish in 200µs, so
+                # each must come back 504 (storm probes can be answered
+                # in µs when every member is skipped, so they only
+                # *count* 504s — this phase asserts them)
+                host, port = srv.address
+                cli = Client(host, port)
+                try:
+                    for endpoint, query in WORKLOAD[:2]:
+                        status, _, body = cli.post(
+                            endpoint, query, {"X-Deadline-Ms": "0.2"})
+                        if status == 504 and body.startswith(
+                                b"error: deadline exceeded"):
+                            counts["deadline_504"] += 1
+                        else:
+                            failures.append(
+                                f"deadline probe not 504: {status} "
+                                f"{body[:60]!r}")
+                finally:
+                    cli.close()
+            finally:
+                final = srv.shutdown()
+        storm_quarantine = final["quarantine"]
+        if final["pin_leaks"] or final["pool"]["pinned"]:
+            failures.append("storm server left pins behind")
+        if counts["wrong_bytes"] or counts["unattributed"] \
+                or counts["hangs"]:
+            failures.append("storm violated the response property")
+        # read_retries is reported, not asserted: the hash schedule may
+        # land an OSError on an open-time header read (no retry loop) or
+        # on a supervisor probe instead of a pool fault — the retry path
+        # itself is pinned down deterministically in the unit tests.
+        print(f"storm drained: quarantine {storm_quarantine} "
+              f"read_retries={final['pool']['read_retries']} "
+              f"timeouts={final['timeouts']}")
+
+        print("corruption cycle: damage m0 on disk, serve degraded, "
+              "repair, await reinstatement")
+        cycle = corruption_cycle(repo_dir, expected, pool, failures)
+        print(f"corruption cycle: {json.dumps(cycle['quarantine'])}")
+
+    payload = {
+        "bench": "serve_chaos_harness",
+        "version": __version__,
+        "member_sizes": member_sizes,
+        "pool_pages": pool,
+        "rate": rate,
+        "seed": seed,
+        "chaos_regime": {
+            "storm": counts,
+            "injected": {"ops": injector.ops,
+                         "fired": dict(injector.by_kind)},
+            "storm_quarantine": storm_quarantine,
+            "storm_read_retries": final["pool"]["read_retries"],
+            "storm_timeouts": final["timeouts"],
+            "corruption_cycle": {
+                "quarantined_500": cycle["quarantined_500"],
+                "degraded_200": cycle["degraded_200"],
+                "quarantine": cycle["quarantine"],
+            },
+            "failures": failures,
+        },
+    }
+    pathlib.Path(out_path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("chaos: ok — every response byte-exact, degraded-and-flagged, "
+          "or cleanly attributed; quarantine drained; repair reinstated")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="smaller members and fewer requests for CI")
+    ap.add_argument("--pool", type=int, default=96,
+                    help="server buffer pool pages (small on purpose: "
+                         "eviction keeps physical reads — and therefore "
+                         "fault opportunities — coming; default "
+                         "%(default)s)")
+    ap.add_argument("--rate", type=float, default=0.05,
+                    help="per-read fault probability (default "
+                         "%(default)s)")
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent /
+        "CHAOS_serve.json"))
+    args = ap.parse_args(argv)
+
+    member_sizes = [20, 20, 30] if args.smoke else [40, 40, 60]
+    n_requests = 25 if args.smoke else 60
+    return run(member_sizes, args.pool, n_requests, args.rate, args.seed,
+               args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

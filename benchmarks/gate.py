@@ -16,9 +16,19 @@ Disjoint record sets are an explicit failure, not a silent pass — a
 renamed query or changed size sweep must update the committed baseline
 in the same change.
 
+``--chaos-check`` switches the gate to a different job: it re-asserts
+the fault-tolerance **properties** recorded by ``chaos_serve.py`` in a
+``CHAOS_serve.json`` payload — no baseline, no tolerance, because the
+properties are absolute (zero wrong bytes, zero hangs, zero unattributed
+errors, zero leaked pins, deadline probes fired, quarantine healed).  A
+chaos run that violated a property already exits non-zero itself; the
+gate re-deriving the verdict from the payload keeps CI honest if the
+harness's own exit code is ever swallowed by a pipeline step.
+
 Usage::
 
     gate.py FRESH.json [BASELINE.json]     # default baseline BENCH_xq.json
+    gate.py --chaos-check CHAOS_serve.json # property check, no baseline
 """
 
 from __future__ import annotations
@@ -91,6 +101,32 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def chaos_check(payload: dict) -> list[str]:
+    """Violations of the chaos-harness properties recorded in a
+    ``CHAOS_serve.json`` payload (empty list = pass)."""
+    bad: list[str] = []
+    regime = payload.get("chaos_regime")
+    if not isinstance(regime, dict):
+        return ["payload has no chaos_regime (not a chaos_serve.py run?)"]
+    storm = regime.get("storm", {})
+    if storm.get("requests", 0) <= 0:
+        bad.append("storm served no requests")
+    for counter in ("wrong_bytes", "unattributed", "hangs"):
+        if storm.get(counter, 1):
+            bad.append(f"storm {counter}={storm.get(counter)} (must be 0)")
+    if storm.get("deadline_504", 0) < 1:
+        bad.append("no deadline probe came back 504")
+    cycle = regime.get("corruption_cycle", {})
+    if cycle.get("quarantine", {}).get("reinstated_total", 0) < 1:
+        bad.append("corruption cycle reinstated no member")
+    failures = regime.get("failures")
+    if failures:
+        bad.extend(f"harness failure: {f}" for f in failures)
+    elif failures is None:
+        bad.append("payload records no failures list")
+    return bad
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("fresh", help="freshly produced bench_xq payload")
@@ -100,10 +136,31 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--tolerance", type=float, default=GATE_TOLERANCE,
                     help="allowed geomean regression fraction "
                          "(default %(default)s)")
+    ap.add_argument("--chaos-check", action="store_true",
+                    help="treat FRESH as a CHAOS_serve.json payload and "
+                         "re-assert its fault-tolerance properties "
+                         "(no baseline)")
     args = ap.parse_args(argv)
 
     try:
         fresh = json.loads(pathlib.Path(args.fresh).read_text("utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"gate: cannot load payloads: {exc}", file=sys.stderr)
+        return 2
+
+    if args.chaos_check:
+        bad = chaos_check(fresh)
+        if bad:
+            for b in bad:
+                print(f"gate: chaos FAIL — {b}", file=sys.stderr)
+            return 1
+        storm = fresh["chaos_regime"]["storm"]
+        print(f"gate: chaos ok — {storm['requests']} requests, "
+              f"ok={storm['ok']} degraded={storm['degraded']} "
+              f"504={storm['deadline_504']}; properties hold")
+        return 0
+
+    try:
         baseline = json.loads(pathlib.Path(args.baseline).read_text("utf-8"))
     except (OSError, ValueError) as exc:
         print(f"gate: cannot load payloads: {exc}", file=sys.stderr)

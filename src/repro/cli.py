@@ -145,12 +145,14 @@ def _repo_cmd(args) -> int:
             try:
                 text = args.query.lstrip()
                 if text.startswith("/"):
-                    for name, res in repo.xpath(text):
+                    for name, res in repo.xpath(text,
+                                                deadline=args.deadline):
                         print(f"{name}: count {res.count()}")
                 else:
                     result = repo.xq(text, batched=not args.per_combo,
                                      prune=not args.no_prune,
-                                     use_indexes=not args.no_index)
+                                     use_indexes=not args.no_index,
+                                     deadline=args.deadline)
                     if result.pruned:
                         print("pruned (catalog, zero I/O): "
                               + " ".join(result.pruned), file=sys.stderr)
@@ -194,6 +196,11 @@ def main(argv: list[str] | None = None) -> int:
     p_query.add_argument("--no-index", action="store_true",
                          help="XQ only: forbid index probes (plan every op "
                               "as a scan)")
+    p_query.add_argument("--deadline", type=float, default=None,
+                         metavar="SEC",
+                         help="cooperative deadline in seconds; an "
+                              "over-budget query unwinds cleanly with a "
+                              "DeadlineExceededError (vx mode only)")
     p_query.add_argument("--pool", type=int, default=None, help=pool_help)
     p_query.add_argument("--io-stats", action="store_true",
                          help="print buffer-pool I/O counters on stderr "
@@ -293,6 +300,10 @@ def main(argv: list[str] | None = None) -> int:
     r_query.add_argument("--no-index", action="store_true",
                          help="forbid index probes (plan every op as a "
                               "scan)")
+    r_query.add_argument("--deadline", type=float, default=None,
+                         metavar="SEC",
+                         help="cooperative deadline in seconds spanning "
+                              "all members of the query")
 
     p_serve = sub.add_parser(
         "serve",
@@ -322,6 +333,17 @@ def main(argv: list[str] | None = None) -> int:
                          metavar="MB",
                          help="result cache budget in MiB; 0 disables "
                               "caching (default 64)")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         metavar="SEC",
+                         help="per-request cooperative deadline in "
+                              "seconds; over-budget requests get HTTP "
+                              "504 (X-Deadline-Ms may tighten it per "
+                              "request; default: none)")
+    p_serve.add_argument("--chaos", default=None, metavar="RATE[:SEED]",
+                         help="inject deterministic transient read "
+                              "faults (OSError/bitflip/torn) into the "
+                              "pool at RATE — the live chaos harness "
+                              "hook; do not use in production")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each request line on stderr")
 
@@ -347,10 +369,21 @@ def main(argv: list[str] | None = None) -> int:
                         return _usage_error(
                             f"{flag} is only valid for XPath queries, "
                             f"not XQ")
+            if args.deadline is not None and args.mode == "naive":
+                return _usage_error(
+                    "--deadline needs the vx engine's checkpoints; "
+                    "it is not valid with --mode naive")
             vdoc = _load(args.file, args.pool)
+            ctx = None
+            if args.deadline is not None:
+                from .core.context import EvalContext
+
+                ctx = EvalContext.for_doc(vdoc)
+                ctx.set_deadline(args.deadline)
             try:
                 if is_xpath:
-                    result = eval_query(vdoc, text, mode=args.mode)
+                    result = eval_query(vdoc, text, mode=args.mode,
+                                        ctx=ctx)
                     print(f"count {result.count()}")
                     if args.values:
                         for v in result.text_values():
@@ -360,7 +393,8 @@ def main(argv: list[str] | None = None) -> int:
                             print(item)
                 else:
                     result = eval_xq(vdoc, text, mode=args.mode,
-                                     use_indexes=not args.no_index)
+                                     use_indexes=not args.no_index,
+                                     ctx=ctx)
                     if args.plan and isinstance(result, XQVXResult):
                         print(result.plan.explain(), file=sys.stderr)
                     print(result.to_xml())

@@ -93,7 +93,9 @@ def build_result(vdoc, gr: ResultSkeleton, table: ReducedTable,
     # per-group results scatter straight into global arrays)
     splices: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     for li, (kind, item, opath) in enumerate(leaves):
-        if kind == "text":
+        if ctx is not None:
+            ctx.checkpoint()   # per template leaf: each one may gather
+        if kind == "text":     # value ranges for every combo group
             acc.setdefault((*opath, "#"), []).append((
                 np.full(n_rows, item.value),
                 np.arange(n_rows, dtype=np.int64),
@@ -171,6 +173,8 @@ def build_result(vdoc, gr: ResultSkeleton, table: ReducedTable,
         return [store.intern_list(item.tag, kids)]
 
     for r in range(n_rows):
+        if ctx is not None and not r % 64:
+            ctx.checkpoint()   # row assembly is the builder's long loop
         counter = [0]
         row_children[r] = [cid for item in gr.items
                            for cid in instantiate(item, r, counter)]

@@ -27,15 +27,29 @@ Invariants enforced here (all machine checks, not comments):
   contrast is what the batched benchmark regime measures);
 * **zero leaked pins** — after the query (successful or not), every buffer
   pool reachable from the documents has ``pinned_total() == 0``.
+
+The context also carries the query's **cooperative deadline**: an
+absolute monotonic instant set by :meth:`EvalContext.set_deadline`.
+:meth:`EvalContext.checkpoint` — one counter bump plus at most one
+``time.monotonic()`` call — is sprinkled through the engine's loops
+(vector scans, plan operations, combo enumeration, result-row assembly)
+and the buffer pool's fault path, so a runaway query raises a typed
+:class:`~repro.errors.DeadlineExceededError` at the next checkpoint and
+unwinds through the ordinary failure path — which asserts zero leaked
+pins, leaving the pool fully reusable.  Checkpoints are *numbered*, and
+``expire_at_checkpoint`` forces expiry at an exact index — the
+deterministic fault-injection hook the deadline-expiry sweep uses to
+prove the unwind is clean at every single checkpoint of a query.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 
 import numpy as np
 
-from ..errors import EngineInvariantError
+from ..errors import DeadlineExceededError, EngineInvariantError
 from .reconstruct import forbid_decompression
 from .vectors import Vector, set_active_context
 
@@ -82,6 +96,15 @@ class EvalContext:
         # over the same document never see each other's counts
         self._scans: dict[int, int] = {}
         self._io: dict[int, int] = {}
+        #: absolute monotonic instant after which checkpoint() raises
+        self.deadline: float | None = None
+        #: the deadline budget in seconds (for the error message)
+        self._budget: float | None = None
+        #: checkpoints passed so far (monotonic across the context's life)
+        self.checkpoints: int = 0
+        #: deterministic expiry: raise at exactly this checkpoint index
+        #: (the deadline-sweep test hook — no wall clock involved)
+        self.expire_at_checkpoint: int | None = None
 
     @classmethod
     def for_doc(cls, vdoc, strict_passes: bool = True) -> "EvalContext":
@@ -111,6 +134,32 @@ class EvalContext:
                 seen.add(id(pool))
                 out.append(pool)
         return out
+
+    # -- cooperative deadline ----------------------------------------------
+
+    def set_deadline(self, seconds: float | None) -> None:
+        """Arm the deadline: the query may run ``seconds`` from *now*.
+        ``None`` disarms it (the library default — only services and the
+        CLI opt in)."""
+        if seconds is None:
+            self.deadline = self._budget = None
+        else:
+            self._budget = seconds
+            self.deadline = time.monotonic() + seconds
+
+    def checkpoint(self) -> None:
+        """The cooperative cancellation point: cheap enough for inner
+        loops (one int bump; the clock is read only when a deadline is
+        armed).  Raises :class:`DeadlineExceededError` once the deadline
+        has passed — or exactly at ``expire_at_checkpoint`` when the
+        deterministic sweep hook is set."""
+        n = self.checkpoints
+        self.checkpoints = n + 1
+        if self.expire_at_checkpoint is not None \
+                and n >= self.expire_at_checkpoint:
+            raise DeadlineExceededError(self._budget, n)
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise DeadlineExceededError(self._budget, n)
 
     # -- per-query windows -------------------------------------------------
 

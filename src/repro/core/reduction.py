@@ -99,6 +99,7 @@ def _enumerate_combos(gq: QueryGraph, vdoc, ctx: EvalContext,
 
     def rec(i: int, assign: dict) -> None:
         if i == len(gq.variables):
+            ctx.checkpoint()   # combo enumeration can be combinatorial
             combos.append(dict(assign))
             return
         var = gq.variables[i]
@@ -383,6 +384,7 @@ class _BatchReducer(_SideResolver):
         for op_idx, op in enumerate(plan.ops):
             if len(cid) == 0:
                 break
+            self.ctx.checkpoint()   # cancellation point between plan ops
             edge = op.payload
             if op.kind == "instantiate":
                 cid, cols = self._instantiate(edge, assigns, cid, cols)
@@ -511,7 +513,8 @@ class _ComboReducer(_SideResolver):
         for op_idx, op in enumerate(plan.ops):
             if n == 0:
                 return None
-            edge = op.payload
+            self.ctx.checkpoint()   # per combo *and* per op: the baseline
+            edge = op.payload       # executor's loops nest both ways
             if op.kind == "instantiate":
                 cpath, ids = assign[edge.var]
                 if edge.parent is None:
@@ -581,6 +584,7 @@ def reduce_query(vdoc, gq: QueryGraph, plan: Plan,
         cid, cols = _BatchReducer(vdoc, ctx).run(plan, gq, assigns)
         raw = []
         for ci in range(len(assigns)):
+            ctx.checkpoint()
             rows = np.flatnonzero(cid == ci)
             if len(rows) == 0:
                 continue

@@ -80,9 +80,12 @@ class Vector:
 
     def scan(self) -> np.ndarray:
         """Return the full column, reporting one sequential scan to the
-        calling thread's active evaluation context (if any)."""
+        calling thread's active evaluation context (if any).  A scan is
+        also a deadline checkpoint — column materialization is the unit
+        of work a cooperative cancellation must interleave with."""
         ctx = active_context()
         if ctx is not None:
+            ctx.checkpoint()
             ctx.note_scan(self)
         return self._col()
 

@@ -222,6 +222,10 @@ def evaluate_vx(vdoc, path: Path, ctx=None) -> VXResult:
     groups: dict[tuple, list] = {}
 
     for cpath in catalog.dataguide():
+        if ctx is not None:
+            ctx.checkpoint()   # per catalog path: a structural query may
+            # select without ever scanning a value vector, and the
+            # cooperative deadline must still be able to stop it
         aligns = _alignments(steps, cpath)
         if not aligns:
             continue

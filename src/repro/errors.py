@@ -71,6 +71,26 @@ class CorruptDataError(StorageError):
         self.offset = offset
 
 
+class DeadlineExceededError(ReproError):
+    """A query ran past its cooperative deadline and was unwound.
+
+    Raised from :meth:`~repro.core.context.EvalContext.checkpoint` — the
+    cheap check the scan/reduction/builder loops and buffer-pool faults
+    call — so an expired request stops at the next checkpoint with zero
+    leaked pins, the pool intact and every sibling request unaffected.
+    This is *cancellation*, not corruption or overload: the service maps
+    it to HTTP 504.  Carries the budget (seconds) and the checkpoint
+    index at which the request died."""
+
+    def __init__(self, budget: float | None, checkpoint: int):
+        what = (f"{budget:.3f}s deadline" if budget is not None
+                else "deadline")
+        super().__init__(
+            f"query exceeded its {what} (checkpoint {checkpoint})")
+        self.budget = budget
+        self.checkpoint = checkpoint
+
+
 class DecompressionForbiddenError(ReproError):
     """Skeleton decompression attempted inside a forbid_decompression() block.
 

@@ -1,0 +1,242 @@
+"""Member quarantine with supervised recovery (repo-layer fault
+tolerance).
+
+A repository query that dies inside one member with a
+:class:`~repro.errors.StorageError` — a corrupt page, a truncated file,
+an I/O error that survived the buffer pool's retry budget — used to make
+that member a landmine: every later query over the collection tripped on
+it again, burning a full error path (and its retries) per request.  The
+:class:`QuarantineRegistry` turns the first failure into a *state
+transition*: the member is marked quarantined, subsequent queries skip
+it up front (reported via the ``X-Quarantined`` response header and the
+``degraded`` flag on ``/healthz`` and ``GET /repo``), and the rest of
+the collection keeps serving.
+
+Quarantine is not permanent.  A :class:`QuarantineSupervisor` — one
+daemon thread per repository — re-verifies each quarantined member with
+:func:`~repro.storage.fsck.verify_vdoc` under capped exponential backoff
+(deterministically jittered, so two members quarantined together do not
+probe in lockstep forever) and reinstates it the moment a deep fsck
+comes back clean.  An operator who repairs or replaces the member file
+on disk therefore heals the service *without a restart*; the reinstated
+member is reopened fresh (new file view, new page-file identity), and
+the result cache — keyed on the file's ``(mtime_ns, size)`` — can never
+serve bytes from the pre-repair file.
+
+Two failure shapes deliberately do **not** quarantine:
+
+* :class:`~repro.storage.buffer.PoolExhaustedError` — the pool being
+  full is *load*, not member damage; admission control owns that.
+* :class:`~repro.errors.DeadlineExceededError` — a slow query is the
+  client's budget, not the member's health.
+
+Everything here is clock-injectable (``clock=``) and the backoff jitter
+is a hash, not a PRNG — the quarantine lifecycle tests run the whole
+quarantine → probe → reinstate cycle deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+
+#: first re-verify delay (seconds) after a member is quarantined
+BASE_DELAY = 0.25
+#: backoff ceiling — a member that stays broken is probed this often
+MAX_DELAY = 30.0
+#: jitter fraction: each delay is scaled by 1 ± jitter (deterministic)
+JITTER = 0.2
+
+
+@dataclass
+class QuarantineEntry:
+    """One quarantined member: why, since when, and the probe schedule."""
+
+    name: str
+    cause: str
+    since: float                 # registry clock at quarantine time
+    probes: int = 0              # failed re-verify attempts so far
+    next_probe: float = 0.0      # registry clock of the next attempt
+
+
+class QuarantineRegistry:
+    """Thread-safe registry of quarantined members plus the counters the
+    service reports (``/stats``).  Owns the backoff policy; the
+    supervisor just asks :meth:`due` / :meth:`next_wake` and reports
+    probe outcomes through :meth:`note_probe`."""
+
+    def __init__(self, base_delay: float = BASE_DELAY,
+                 max_delay: float = MAX_DELAY, jitter: float = JITTER,
+                 clock=time.monotonic):
+        self._lock = threading.Lock()
+        self._entries: dict[str, QuarantineEntry] = {}
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.clock = clock
+        # lifetime counters (monotonic, reported in /stats)
+        self.quarantined_total = 0   # members ever quarantined
+        self.reinstated_total = 0    # members healed back into service
+        self.probes_total = 0        # re-verify attempts
+        self.probe_failures = 0      # attempts that found it still broken
+        self.skips = 0               # member evaluations skipped
+
+    # -- backoff -----------------------------------------------------------
+
+    def _delay(self, entry: QuarantineEntry) -> float:
+        """Capped exponential backoff with deterministic ±jitter: the
+        jitter is a hash of ``(name, probe count)``, so the schedule is
+        reproducible yet de-synchronized across members."""
+        raw = min(self.base_delay * (2.0 ** entry.probes), self.max_delay)
+        h = zlib.crc32(f"{entry.name}:{entry.probes}".encode("utf-8"))
+        return raw * (1.0 + self.jitter * (2.0 * (h / 0xFFFFFFFF) - 1.0))
+
+    # -- transitions -------------------------------------------------------
+
+    def quarantine(self, name: str, cause: str) -> bool:
+        """Mark ``name`` quarantined; returns True if this call made the
+        transition (False if it already was — concurrent failures on the
+        same member race here, one wins)."""
+        with self._lock:
+            if name in self._entries:
+                return False
+            now = self.clock()
+            entry = QuarantineEntry(name, cause, now)
+            entry.next_probe = now + self._delay(entry)
+            self._entries[name] = entry
+            self.quarantined_total += 1
+            return True
+
+    def note_probe(self, name: str, healthy: bool) -> bool:
+        """Record one re-verify outcome; returns True when this probe
+        reinstated the member."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:          # reinstated/removed concurrently
+                return False
+            self.probes_total += 1
+            if healthy:
+                del self._entries[name]
+                self.reinstated_total += 1
+                return True
+            self.probe_failures += 1
+            entry.probes += 1
+            entry.next_probe = self.clock() + self._delay(entry)
+            return False
+
+    def reinstate(self, name: str) -> bool:
+        """Administratively lift a quarantine (the supervisor path goes
+        through :meth:`note_probe`)."""
+        with self._lock:
+            if self._entries.pop(name, None) is None:
+                return False
+            self.reinstated_total += 1
+            return True
+
+    # -- queries -----------------------------------------------------------
+
+    def is_quarantined(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def note_skip(self, n: int = 1) -> None:
+        with self._lock:
+            self.skips += n
+
+    def active(self) -> list[str]:
+        """Currently quarantined member names, sorted (header-stable)."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def due(self, now: float | None = None) -> list[str]:
+        """Members whose next probe time has arrived."""
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            return [e.name for e in self._entries.values()
+                    if e.next_probe <= now]
+
+    def next_wake(self) -> float | None:
+        """The earliest scheduled probe instant (None when empty)."""
+        with self._lock:
+            if not self._entries:
+                return None
+            return min(e.next_probe for e in self._entries.values())
+
+    def snapshot(self) -> dict:
+        """The reporting surface for ``/stats`` and ``GET /repo``."""
+        with self._lock:
+            now = self.clock()
+            return {
+                "active": [
+                    {"name": e.name, "cause": e.cause, "probes": e.probes,
+                     "for_s": round(now - e.since, 3)}
+                    for e in sorted(self._entries.values(),
+                                    key=lambda e: e.name)],
+                "quarantined_total": self.quarantined_total,
+                "reinstated_total": self.reinstated_total,
+                "probes_total": self.probes_total,
+                "probe_failures": self.probe_failures,
+                "skips": self.skips,
+            }
+
+
+class QuarantineSupervisor:
+    """The recovery daemon: waits for the registry's next probe instant,
+    runs ``probe(name)`` (True = healthy) for each due member, and calls
+    ``on_reinstate(name)`` for every member a clean probe heals.
+
+    The thread is a daemon and :meth:`stop` joins it, so a repository
+    (or server) shutdown never hangs on a sleeping supervisor — the stop
+    event doubles as the wake-up timer."""
+
+    def __init__(self, registry: QuarantineRegistry, probe,
+                 on_reinstate=None, poll: float = 0.25):
+        self.registry = registry
+        self._probe = probe
+        self._on_reinstate = on_reinstate
+        self._poll = poll
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="quarantine-supervisor", daemon=True)
+
+    def start(self) -> "QuarantineSupervisor":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
+
+    # one scheduling round, factored out so tests can drive it without
+    # the thread (deterministic clock, no sleeps)
+    def run_due(self) -> int:
+        """Probe every due member once; returns how many reinstated."""
+        healed = 0
+        for name in self.registry.due():
+            try:
+                healthy = bool(self._probe(name))
+            except Exception:
+                healthy = False      # a probe crash is a failed probe
+            if self.registry.note_probe(name, healthy):
+                healed += 1
+                if self._on_reinstate is not None:
+                    try:
+                        self._on_reinstate(name)
+                    except Exception:
+                        pass         # reopen failures surface on next use
+        return healed
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.run_due()
+            wake = self.registry.next_wake()
+            if wake is None:
+                timeout = self._poll
+            else:
+                timeout = min(max(wake - self.registry.clock(), 0.005),
+                              self._poll)
+            self._stop.wait(timeout)

@@ -24,7 +24,11 @@ pool-wide.  ``xq`` evaluates a (possibly ``collection("name")``-sourced)
 XQ query member at a time with a per-member plan, concatenating results
 in (member, document-order) order; a storage failure in one member
 surfaces as a :class:`StorageError` naming that member and leaves the
-pool clean, so sibling members stay queryable.
+pool clean, so sibling members stay queryable.  The failing member is
+additionally **quarantined** (:mod:`repro.repo.quarantine`): subsequent
+queries skip it — degraded, flagged, but serving — until a supervised
+deep fsck finds the file healthy and reinstates it, so an on-disk repair
+heals the collection without reopening the repository.
 
 Concurrent requests (``repro.serve``) may evaluate the **same member at
 the same time**: per-query accounting lives in each request's
@@ -71,9 +75,15 @@ from ..core.xpath.parser import parse_xpath
 from ..core.xpath.vx_eval import VXResult, _alignments
 from ..core.xquery.ast import XQuery
 from ..core.xquery.parser import parse_xq
-from ..errors import ReproError, StorageError, XQCompileError
+from ..errors import (
+    PoolExhaustedError,
+    ReproError,
+    StorageError,
+    XQCompileError,
+)
 from ..storage.buffer import BufferPool
 from ..storage.vdocfile import open_vdoc
+from .quarantine import QuarantineRegistry, QuarantineSupervisor
 from .rescache import ResultCache
 
 MANIFEST = "repo.json"
@@ -189,11 +199,15 @@ class RepoXQResult:
     any page I/O)."""
 
     def __init__(self, root_tag: str, results: list[tuple[str, object]],
-                 pruned: list[str] | None = None):
+                 pruned: list[str] | None = None,
+                 quarantined: list[str] | None = None):
         self.root_tag = root_tag
         #: [(member name, XQVXResult | CachedXQMember)]
         self.results = results
         self.pruned = pruned or []       # member names skipped via catalog
+        #: member names skipped because they were quarantined at
+        #: evaluation time — a *degraded* (not byte-complete) response
+        self.quarantined = quarantined or []
         self.n_tuples = sum(r.n_tuples for _, r in results)
 
     def to_xml(self) -> str:
@@ -233,6 +247,18 @@ class Repository:
         #: default; the query service enables it)
         self.result_cache = (ResultCache(result_cache_bytes)
                              if result_cache_bytes else None)
+        # Fault tolerance (see repro.repo.quarantine): members whose
+        # evaluation died with a StorageError are quarantined — later
+        # queries skip them instead of re-tripping the same damage — and
+        # a supervisor (started by the service via start_supervisor())
+        # re-verifies and reinstates them when the file heals.  The open
+        # document of a quarantined member is *retired*, not closed: a
+        # concurrent request may still be reading through it, so it stays
+        # open (read-only) until the repository closes; reinstatement
+        # reopens the file fresh.
+        self.quarantine = QuarantineRegistry()
+        self._retired: list = []
+        self._supervisor: QuarantineSupervisor | None = None
         # planning memo: query text -> catalog-pruning decision.  Pruning
         # is pure manifest math, so it is cacheable for any repeated query
         # regardless of the result cache — and it otherwise dominates the
@@ -276,9 +302,11 @@ class Repository:
                    result_cache_bytes=result_cache_bytes)
 
     def close(self) -> None:
+        self.stop_supervisor()
         with self._open_lock:
-            docs = list(self._open.values())
+            docs = list(self._open.values()) + self._retired
             self._open.clear()
+            self._retired = []
         for vdoc in docs:
             vdoc.close()
 
@@ -427,6 +455,55 @@ class Repository:
             latch.set()
             return vdoc
 
+    # -- quarantine --------------------------------------------------------
+
+    def _note_quarantine(self, name: str, exc: StorageError) -> None:
+        """A member's evaluation died with a storage failure: quarantine
+        it so later queries skip it, and retire its open document (kept
+        open for concurrent in-flight readers; closed with the repo).
+
+        :class:`PoolExhaustedError` is *load*, not member damage —
+        admission control owns overload — so it never quarantines."""
+        if isinstance(exc, PoolExhaustedError):
+            return
+        if self.quarantine.quarantine(name, str(exc)):
+            with self._open_lock:
+                vdoc = self._open.pop(name, None)
+                if vdoc is not None:
+                    self._retired.append(vdoc)
+
+    def _probe_member(self, name: str) -> bool:
+        """The supervisor's re-verify: a deep fsck of the member file.
+        True only when the page file comes back with zero findings."""
+        from ..storage.fsck import verify_vdoc
+        try:
+            entry = self._entry(name)
+            path = os.path.join(self.dirpath, entry["file"])
+            return not verify_vdoc(path, deep=True)
+        except (OSError, ReproError):
+            return False
+
+    def start_supervisor(self, base_delay: float | None = None,
+                         max_delay: float | None = None,
+                         poll: float = 0.25) -> QuarantineSupervisor:
+        """Start the background recovery thread (idempotent).  The
+        library default is *no* supervisor — batch CLI use opens, queries
+        and exits; the resident service starts one so on-disk repairs
+        heal the serving set without a restart."""
+        if self._supervisor is None:
+            if base_delay is not None:
+                self.quarantine.base_delay = base_delay
+            if max_delay is not None:
+                self.quarantine.max_delay = max_delay
+            self._supervisor = QuarantineSupervisor(
+                self.quarantine, self._probe_member, poll=poll).start()
+        return self._supervisor
+
+    def stop_supervisor(self) -> None:
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
+
     # -- queries -----------------------------------------------------------
 
     def _cache_key(self, name: str, kind: str, qtext: str,
@@ -478,7 +555,9 @@ class Repository:
         return [name for _, _, name in survivors], pruned
 
     def xq(self, query: str | XQuery, batched: bool = True,
-           prune: bool = True, use_indexes: bool = True) -> RepoXQResult:
+           prune: bool = True, use_indexes: bool = True,
+           deadline: float | None = None,
+           ctx: EvalContext | None = None) -> RepoXQResult:
         """Evaluate an XQ query over every member, in member order.
 
         ``collection("name")`` sources must name this repository; a query
@@ -492,7 +571,19 @@ class Repository:
         them empty for this query — zero page I/O for skipped members —
         and evaluates survivors most-selective-first; the returned results
         are reassembled in manifest order either way, so output is
-        byte-identical with pruning on or off."""
+        byte-identical with pruning on or off.
+
+        ``deadline`` arms a cooperative budget (seconds) spanning *all*
+        members of this query; expiry raises
+        :class:`~repro.errors.DeadlineExceededError` at the next engine
+        checkpoint and unwinds with zero leaked pins.  ``ctx`` supplies a
+        caller-built :class:`EvalContext` (the service reuses this to arm
+        per-request deadlines; tests to force deterministic expiry).
+
+        A member whose evaluation dies with a :class:`StorageError` is
+        **quarantined**: this query still fails (naming the member), but
+        subsequent queries skip it — reported in ``result.quarantined`` —
+        until the supervisor's deep fsck finds the file healthy again."""
         xq = query if isinstance(query, XQuery) else parse_xq(query)
         gq, _ = compile_query(xq)
         if gq.collection is not None and gq.collection != self.name:
@@ -508,9 +599,17 @@ class Repository:
                 lambda: self._member_order(gq))
         else:
             order, pruned = self.members(), []
-        ctx = EvalContext(strict_passes=batched)
+        if ctx is None:
+            ctx = EvalContext(strict_passes=batched)
+        if deadline is not None:
+            ctx.set_deadline(deadline)
         by_name: dict[str, object] = {}
+        quarantined: list[str] = []
         for name in order:
+            if self.quarantine.is_quarantined(name):
+                quarantined.append(name)
+                self.quarantine.note_skip()
+                continue
             key = (self._cache_key(name, "xq", qtext, flags)
                    if cache is not None and qtext is not None else None)
             if key is not None:
@@ -518,11 +617,18 @@ class Repository:
                 if hit is not None:
                     by_name[name] = CachedXQMember(*hit)
                     continue
-            vdoc = self.member(name)
+            elif cache is not None and qtext is not None:
+                cache.note_uncacheable()
+            try:
+                vdoc = self.member(name)
+            except StorageError as exc:
+                self._note_quarantine(name, exc)
+                raise
             try:
                 res = eval_xq(vdoc, xq, batched=batched, ctx=ctx,
                               use_indexes=use_indexes)
             except StorageError as exc:
+                self._note_quarantine(name, exc)
                 raise StorageError(f"member {name!r}: {exc}") from exc
             if key is not None:
                 frag = res.fragment()
@@ -530,20 +636,33 @@ class Repository:
             by_name[name] = res
         results = [(name, by_name[name]) for name in self.members()
                    if name in by_name]
-        return RepoXQResult(xq.root_tag, results, pruned)
+        return RepoXQResult(xq.root_tag, results, pruned,
+                            sorted(quarantined))
 
-    def xpath(self, query: str,
-              prune: bool = True) -> list[tuple[str, object]]:
+    def xpath(self, query: str, prune: bool = True,
+              deadline: float | None = None,
+              ctx: EvalContext | None = None,
+              skipped: list | None = None) -> list[tuple[str, object]]:
         """Evaluate an XPath over every member; per-member ``VXResult``\\ s
         in member order.  With ``prune=True`` a member whose cataloged
         paths admit no alignment with the query steps is answered with an
         empty result straight from the manifest (it is never opened).
         When the result cache is enabled, a member hit is answered as a
-        :class:`CachedCount` (the ``count()`` reporting surface only)."""
+        :class:`CachedCount` (the ``count()`` reporting surface only).
+
+        Quarantined members are *omitted* from the output; pass a list
+        as ``skipped`` to receive their names.  Reading
+        ``repo.quarantine.active()`` afterwards instead is racy — the
+        supervisor may reinstate a member between the skip and the read,
+        silently hiding the degradation.  ``deadline`` / ``ctx`` behave
+        as in :meth:`xq`."""
         path: Path = parse_xpath(query)
         cache = self.result_cache
         qtext = query.strip()
-        ctx = EvalContext()
+        if ctx is None:
+            ctx = EvalContext()
+        if deadline is not None:
+            ctx.set_deadline(deadline)
         prunable: frozenset = frozenset() if not prune else self._memoized(
             ("xpath-prune", qtext),
             lambda: frozenset(
@@ -553,6 +672,11 @@ class Repository:
         out: list[tuple[str, object]] = []
         for m in self.manifest["members"]:
             name = m["name"]
+            if self.quarantine.is_quarantined(name):
+                self.quarantine.note_skip()
+                if skipped is not None:
+                    skipped.append(name)
+                continue
             if name in prunable:
                 out.append((name, VXResult(None, [])))
                 continue
@@ -563,10 +687,17 @@ class Repository:
                 if hit is not None:
                     out.append((name, CachedCount(hit)))
                     continue
-            vdoc = self.member(name)
+            elif cache is not None:
+                cache.note_uncacheable()
+            try:
+                vdoc = self.member(name)
+            except StorageError as exc:
+                self._note_quarantine(name, exc)
+                raise
             try:
                 res = eval_query(vdoc, path, ctx=ctx)
             except StorageError as exc:
+                self._note_quarantine(name, exc)
                 raise StorageError(f"member {name!r}: {exc}") from exc
             if key is not None:
                 cache.put(key, res.count(), 32)

@@ -50,6 +50,18 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        # member evaluations that could not be keyed at all (the member
+        # file failed to stat mid-flight — e.g. replaced on disk between
+        # manifest read and keying); neither a hit nor a miss, because
+        # the cache was never consulted.  A nonzero count is the smoking
+        # gun for "why is this member never cached".
+        self.uncacheable = 0
+
+    def note_uncacheable(self, n: int = 1) -> None:
+        """Record ``n`` evaluations that bypassed the cache because no
+        stable key existed (see :meth:`Repository._cache_key`)."""
+        with self._lock:
+            self.uncacheable += n
 
     def get(self, key: tuple):
         """The cached value, freshened to most-recently-used, or ``None``."""
@@ -107,4 +119,5 @@ class ResultCache:
                 "hit_rate": round(self.hits / total, 4) if total else 0.0,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "uncacheable": self.uncacheable,
             }

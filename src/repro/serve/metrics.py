@@ -102,6 +102,7 @@ class Metrics:
         self.overloads = 0       # shed by admission control (queue/timeout)
         self.drain_rejects = 0   # rejected during graceful shutdown
         self.pool_exhausted = 0  # every pool frame pinned mid-query
+        self.timeouts = 0        # 504s: cooperative deadlines exceeded
 
     def observe(self, endpoint: str, status: int, seconds: float,
                 cause: str | None = None) -> None:
@@ -124,7 +125,35 @@ class Metrics:
                     self.pool_exhausted += 1
                 else:
                     self.overloads += 1
+            if status == 504:
+                self.timeouts += 1
             ep.latency.observe(seconds)
+
+    def query_p50(self, endpoints: tuple = ("/xq", "/xpath")) -> float:
+        """The median *service* time (seconds) observed across the query
+        endpoints, merged rank-wise over their shared bucket bounds — the
+        input to the 503 ``Retry-After`` estimate.  0.0 before any query
+        has completed; ``inf`` when the median fell in the overflow
+        bucket (the hint falls back to its static default then)."""
+        with self._lock:
+            counts = [0] * (len(_BOUNDS) + 1)
+            n = 0
+            for name in endpoints:
+                ep = self._endpoints.get(name)
+                if ep is None:
+                    continue
+                for i, c in enumerate(ep.latency.counts):
+                    counts[i] += c
+                n += ep.latency.n
+            if not n:
+                return 0.0
+            target = max(1, math.ceil(n * 0.5))
+            cum = 0
+            for i, c in enumerate(counts):
+                cum += c
+                if cum >= target:
+                    return _BOUNDS[i] if i < len(_BOUNDS) else math.inf
+            return math.inf
 
     def note_pin_leak(self) -> None:
         with self._lock:
@@ -151,5 +180,6 @@ class Metrics:
                 "overloads": self.overloads,
                 "drain_rejects": self.drain_rejects,
                 "pool_exhausted": self.pool_exhausted,
+                "timeouts": self.timeouts,
                 "endpoints": endpoints,
             }

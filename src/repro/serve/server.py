@@ -28,9 +28,23 @@ observability endpoints bypass admission so the service stays inspectable
 under load.
 
 Error mapping: malformed queries → 400; overload (queue full/timeout or a
-pool with every frame pinned) → 503; storage failures → 500 with the
-failing *member named in the body* while sibling members stay queryable —
-a corrupt document degrades that document, not the service.
+pool with every frame pinned) → 503 with a ``Retry-After`` scaled from
+the observed median query time times the admission backlog; a cooperative
+deadline expiry → 504; storage failures → 500 with the failing *member
+named in the body* while sibling members stay queryable — a corrupt
+document degrades that document, not the service.
+
+Fault tolerance: each request runs under an optional **deadline** — the
+server-wide ``--deadline`` budget, tightened per request by an
+``X-Deadline-Ms`` header (a client may shorten its budget, never extend
+the server's) — enforced at the engine's cooperative checkpoints and
+unwound with zero leaked pins.  A member whose evaluation dies with a
+storage failure is **quarantined** (skipped by later queries, reported
+via the ``X-Quarantined`` response header, the ``degraded`` flag on
+``GET /repo`` and a degraded-but-200 ``/healthz`` body) while a
+supervisor thread re-verifies it under backoff and reinstates it once
+the file fscks clean — an on-disk repair heals the serving set without
+a restart.
 
 Graceful shutdown (SIGTERM/SIGINT via ``repro-xq serve``): stop accepting
 connections, drain in-flight queries, log the final metrics snapshot as
@@ -41,6 +55,7 @@ a clean exit *is* the zero-leaked-pins proof for the whole session.
 from __future__ import annotations
 
 import json
+import math
 import signal
 import sys
 import threading
@@ -48,6 +63,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..errors import (
+    DeadlineExceededError,
     ParseError,
     PoolExhaustedError,
     ReproError,
@@ -140,7 +156,14 @@ class _Handler(BaseHTTPRequestHandler):
         t0 = time.perf_counter()
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
-            status, body, ctype = 200, b"ok\n", "text/plain; charset=utf-8"
+            # degraded stays HTTP 200: the process is alive and serving
+            # (liveness probes must not restart a self-healing server) —
+            # the body carries the degradation for readiness tooling
+            quarantined = app.repo.quarantine.active()
+            body = (b"ok\n" if not quarantined else
+                    ("degraded: quarantined="
+                     + ",".join(quarantined) + "\n").encode("utf-8"))
+            status, ctype = 200, "text/plain; charset=utf-8"
         elif path == "/stats":
             body = (json.dumps(app.stats_snapshot(), indent=1) + "\n") \
                 .encode("utf-8")
@@ -184,9 +207,11 @@ class _Handler(BaseHTTPRequestHandler):
                 raise OverloadError("shutting down", retry_after=1.0,
                                     cause="drain")
             text = self._read_body()
+            deadline = app.request_deadline(
+                self.headers.get("X-Deadline-Ms"))
             with app.admission.admit():
                 try:
-                    body, ctype, headers = evaluator(text)
+                    body, ctype, headers = evaluator(text, deadline)
                     status = 200
                 finally:
                     # per-request invariant, also on error paths: this
@@ -201,8 +226,8 @@ class _Handler(BaseHTTPRequestHandler):
                 body = (f"error: invariant violated: {leaked} buffer-pool "
                         f"pin(s) leaked by this request\n").encode("utf-8")
         except OverloadError as exc:
-            status, headers = 503, \
-                {"Retry-After": str(max(1, round(exc.retry_after)))}
+            hint = app.retry_hint(exc.retry_after)
+            status, headers = 503, {"Retry-After": str(max(1, round(hint)))}
             body = f"error: overloaded: {exc}\n".encode("utf-8")
             cause = exc.cause
         except PoolExhaustedError as exc:
@@ -211,6 +236,12 @@ class _Handler(BaseHTTPRequestHandler):
             status, headers = 503, {"Retry-After": "1"}
             body = f"error: overloaded: {exc}\n".encode("utf-8")
             cause = "pool"
+        except DeadlineExceededError as exc:
+            # the engine unwound at a cooperative checkpoint with zero
+            # leaked pins — the request is over budget, the service fine
+            status = 504
+            body = f"error: deadline exceeded: {exc}\n".encode("utf-8")
+            cause = "deadline"
         except (ParseError, XPathSyntaxError, XQSyntaxError,
                 XQCompileError) as exc:
             status, body = 400, f"error: {exc}\n".encode("utf-8")
@@ -240,11 +271,18 @@ class QueryServer:
                  max_queue: int = DEFAULT_QUEUE,
                  queue_timeout: float = 2.0, verify: bool = True,
                  verbose: bool = False,
-                 result_cache_mb: float = DEFAULT_RESULT_CACHE_MB):
+                 result_cache_mb: float = DEFAULT_RESULT_CACHE_MB,
+                 deadline: float | None = None):
         cache_bytes = int(result_cache_mb * (1 << 20))
         self.repo = Repository.open(repo_dir, pool_pages=pool_pages,
                                     verify=verify,
                                     result_cache_bytes=cache_bytes or None)
+        #: server-wide per-request budget (seconds); X-Deadline-Ms may
+        #: tighten it per request but never exceed it
+        self.deadline = deadline
+        # supervised recovery: quarantined members are re-verified in the
+        # background and reinstated when their file fscks clean
+        self.repo.start_supervisor()
         self.workers = max(1, workers)
         self.max_inflight = size_inflight(self.workers,
                                           self.repo.pool.capacity)
@@ -266,26 +304,69 @@ class QueryServer:
 
     # -- evaluation (called from handler threads) --------------------------
 
-    def eval_xq_bytes(self, query: str) -> tuple[bytes, str, dict]:
-        result = self.repo.xq(query)
+    def request_deadline(self, header: str | None) -> float | None:
+        """The effective budget (seconds) for one request: the server's
+        ``--deadline``, tightened by an ``X-Deadline-Ms`` header.  A
+        client may shorten its own budget, never extend the server's."""
+        if header is None:
+            return self.deadline
+        try:
+            ms = float(header)
+        except ValueError:
+            raise _BadRequest(
+                400, f"bad X-Deadline-Ms {header!r}: not a number") \
+                from None
+        if not ms > 0 or math.isinf(ms) or math.isnan(ms):
+            raise _BadRequest(
+                400, f"bad X-Deadline-Ms {header!r}: must be a positive "
+                     f"finite millisecond count")
+        seconds = ms / 1e3
+        return seconds if self.deadline is None \
+            else min(seconds, self.deadline)
+
+    def retry_hint(self, fallback: float) -> float:
+        """The 503 ``Retry-After`` estimate: the time for the current
+        admission backlog to drain at the observed median query service
+        time — ``p50 × (in flight + queued) / slots`` — instead of a
+        constant.  Falls back to the admission layer's static hint until
+        a median exists, and is capped so a latency spike cannot tell
+        clients to go away for minutes."""
+        p50 = self.metrics.query_p50()
+        if not p50 or math.isinf(p50):
+            return fallback
+        depth = self.admission.depth()
+        backlog = depth["in_flight"] + depth["queued"]
+        return min(p50 * max(1, backlog) / self.max_inflight, 30.0)
+
+    def eval_xq_bytes(self, query: str,
+                      deadline: float | None = None) -> tuple:
+        result = self.repo.xq(query, deadline=deadline)
         headers = {}
         if result.pruned:
             headers["X-Pruned"] = ",".join(result.pruned)
+        if result.quarantined:
+            # the response is degraded: these members were skipped
+            headers["X-Quarantined"] = ",".join(result.quarantined)
         headers["X-Tuples"] = str(result.n_tuples)
         # the CLI prints to_xml() with print(): same bytes + newline
         return (result.to_xml() + "\n").encode("utf-8"), \
             "application/xml; charset=utf-8", headers
 
-    def eval_xpath_bytes(self, query: str) -> tuple[bytes, str, dict]:
+    def eval_xpath_bytes(self, query: str,
+                         deadline: float | None = None) -> tuple:
         text = query.lstrip()
         if not text.startswith("/"):
             raise XPathSyntaxError(
                 "/xpath body must be an XPath (starts with '/'); "
                 "POST XQ queries to /xq")
+        skipped: list = []
         lines = [f"{name}: count {res.count()}"
-                 for name, res in self.repo.xpath(text)]
+                 for name, res in self.repo.xpath(text, deadline=deadline,
+                                                  skipped=skipped)]
+        headers = ({"X-Quarantined": ",".join(sorted(skipped))}
+                   if skipped else {})
         return ("\n".join(lines) + "\n").encode("utf-8"), \
-            "text/plain; charset=utf-8", {}
+            "text/plain; charset=utf-8", headers
 
     # -- reporting ---------------------------------------------------------
 
@@ -307,9 +388,11 @@ class QueryServer:
         }
         cache = self.repo.result_cache
         snap["result_cache"] = cache.stats() if cache is not None else None
+        snap["quarantine"] = self.repo.quarantine.snapshot()
         return snap
 
     def repo_snapshot(self) -> dict:
+        quarantined = set(self.repo.quarantine.active())
         members = [
             {
                 "name": m["name"],
@@ -317,15 +400,19 @@ class QueryServer:
                 "catalog_paths": len(m["paths"]),
                 "values": sum(c for p, c in m["paths"]
                               if p and p[-1] == "#"),
+                "quarantined": m["name"] in quarantined,
             }
             for m in self.repo.manifest["members"]
         ]
         return {
             "name": self.repo.name,
             "members": members,
+            "degraded": bool(quarantined),
+            "quarantined": sorted(quarantined),
             "pool_capacity": self.repo.pool.capacity,
             "workers": self.workers,
             "max_inflight": self.max_inflight,
+            "deadline_s": self.deadline,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -390,21 +477,61 @@ class QueryServer:
         self.shutdown()
 
 
+def parse_chaos(spec: str):
+    """``--chaos RATE[:SEED]`` → a live-server
+    :class:`~repro.storage.faults.FaultInjector` (transient OSErrors,
+    bitflips and torn reads on the pool's physical reads)."""
+    from ..storage.faults import FaultInjector
+    rate_s, _, seed_s = spec.partition(":")
+    try:
+        rate = float(rate_s)
+        seed = int(seed_s) if seed_s else 0
+    except ValueError:
+        raise ValueError(
+            f"bad --chaos spec {spec!r} (want RATE[:SEED], e.g. 0.05:7)") \
+            from None
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"--chaos rate {rate} outside [0, 1]")
+    return FaultInjector(seed=seed, rate=rate)
+
+
 def run_serve(args) -> int:
     """``repro-xq serve`` entry point (argparse namespace in, exit code
     out).  SIGTERM/SIGINT trigger graceful shutdown; the final metrics
     snapshot is logged as one JSON line on stderr."""
-    server = QueryServer(
-        args.dir, host=args.host, port=args.port, pool_pages=args.pool,
-        workers=args.workers, max_queue=args.queue,
-        queue_timeout=args.queue_timeout, verbose=args.verbose,
-        result_cache_mb=args.result_cache)
+    from ..storage import faults
+
+    injector = None
+    chaos_cm = None
+    if getattr(args, "chaos", None):
+        # installed before the repository opens so every member page file
+        # is wrapped; stays installed until after drain
+        try:
+            injector = parse_chaos(args.chaos)
+        except ValueError as exc:
+            print(f"repro-xq: error: {exc}", file=sys.stderr)
+            return 2
+        chaos_cm = faults.inject(injector)
+        chaos_cm.__enter__()
+    try:
+        server = QueryServer(
+            args.dir, host=args.host, port=args.port, pool_pages=args.pool,
+            workers=args.workers, max_queue=args.queue,
+            queue_timeout=args.queue_timeout, verbose=args.verbose,
+            result_cache_mb=args.result_cache,
+            deadline=getattr(args, "deadline", None))
+    except BaseException:
+        if chaos_cm is not None:
+            chaos_cm.__exit__(None, None, None)
+        raise
     host, port = server.address
     pool = server.repo.pool.capacity
     print(f"serving repository {server.repo.name!r} "
           f"({len(server.repo.members())} members) on http://{host}:{port} "
           f"workers={server.workers} max_inflight={server.max_inflight} "
-          f"pool={'unbounded' if pool is None else pool}",
+          f"pool={'unbounded' if pool is None else pool}"
+          + (f" deadline={server.deadline}s" if server.deadline else "")
+          + (f" chaos={args.chaos}" if injector is not None else ""),
           flush=True)
 
     def _on_signal(signum, frame):
@@ -420,6 +547,11 @@ def run_serve(args) -> int:
         for s, h in previous.items():
             signal.signal(s, h)
         final = server.shutdown()
+        if chaos_cm is not None:
+            chaos_cm.__exit__(None, None, None)
+        if injector is not None:
+            final["chaos"] = {"ops": injector.ops,
+                              "fired": dict(injector.by_kind)}
         print("serve: final stats " + json.dumps(final, sort_keys=True),
               file=sys.stderr, flush=True)
     return 0

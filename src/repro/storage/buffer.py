@@ -50,16 +50,55 @@ across threads:
   (carrying capacity and pin counts) is raised instead of a generic
   storage error, so admission control can shed load rather than mistake
   overload for corruption.
+
+Fault tolerance (the ``repro.serve`` robustness substrate):
+
+* the physical read of a fault-in (:meth:`BufferPool._fault`) retries a
+  **transient** ``OSError`` up to ``io_retries`` times with doubling
+  backoff before surfacing it wrapped in :class:`TransientIOError` — one
+  flaky read no longer kills a whole query; retries are counted in
+  ``IOStats.read_retries``.  A :class:`~repro.errors.CorruptDataError`
+  (checksum mismatch — the bytes themselves are wrong) is **never**
+  retried: re-reading deterministic corruption wastes the budget and
+  delays quarantine;
+* every fault-in is also a **deadline checkpoint**: the thread's active
+  :class:`~repro.core.context.EvalContext` (if any) may raise
+  :class:`~repro.errors.DeadlineExceededError` before the physical read,
+  and the reserved loading frame is rolled back exactly like any failed
+  fault — an expired query unwinds with zero leaked pins and the pool
+  stays fully usable.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..errors import PoolExhaustedError, StorageError
 from .disk import PageFile
+
+#: transient-read retry policy defaults: up to ``IO_RETRIES`` re-reads
+#: with ``IO_RETRY_DELAY * 2**attempt`` seconds of backoff between them
+IO_RETRIES = 2
+IO_RETRY_DELAY = 0.01
+
+
+class TransientIOError(StorageError):
+    """A physical page read kept failing with ``OSError`` after the
+    bounded retry budget.  Distinct from corruption — the bytes were
+    never seen — but equally fatal for the read: the member it belongs
+    to is quarantined and re-verified like any storage failure.
+    Carries the retry count and the final ``OSError``."""
+
+    def __init__(self, pid: int, retries: int, last: OSError):
+        super().__init__(
+            f"page {pid}: transient I/O error persisted after "
+            f"{retries} retr{'y' if retries == 1 else 'ies'}: {last}")
+        self.pid = pid
+        self.retries = retries
+        self.last = last
 
 
 @dataclass
@@ -71,6 +110,7 @@ class IOStats:
     hits: int = 0             # pins served from the pool
     misses: int = 0           # pins that had to read
     evictions: int = 0        # frames reclaimed by the clock
+    read_retries: int = 0     # transient-OSError re-reads that were needed
 
     def hit_rate(self) -> float:
         """Fraction of pins served without a physical read (0.0 when no
@@ -86,6 +126,7 @@ class IOStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "read_retries": self.read_retries,
             "hit_rate": round(self.hit_rate(), 4),
         }
 
@@ -158,7 +199,9 @@ class BufferPool:
     :class:`PageFile` (``capacity=None`` → unbounded)."""
 
     def __init__(self, file: PageFile | None = None,
-                 capacity: int | None = None, verify: bool = True):
+                 capacity: int | None = None, verify: bool = True,
+                 io_retries: int = IO_RETRIES,
+                 io_retry_delay: float = IO_RETRY_DELAY):
         if capacity is not None and capacity < 2:
             # heap-file appends pin the old tail while linking a fresh page
             raise StorageError("buffer pool needs a capacity of >= 2 pages")
@@ -166,6 +209,10 @@ class BufferPool:
         #: checksum-verify every physical page read (format v2 integrity);
         #: off only for benchmarking the verification overhead itself.
         self.verify = verify
+        #: transient-OSError read retries per fault (0 disables)
+        self.io_retries = max(0, io_retries)
+        #: backoff before the first retry, doubling per attempt
+        self.io_retry_delay = io_retry_delay
         self.stats = IOStats()                    # pool-wide counters
         self._views: list[FileView] = []
         self._frames: dict[tuple[int, int], _Frame] = {}
@@ -268,7 +315,7 @@ class BufferPool:
         try:
             # physical I/O outside the pool lock: hits on other pages
             # proceed while this page loads
-            buf = bytearray(view.file.read_page(pid, verify=self.verify))
+            buf = self._fault(view, pid)
         except BaseException:
             with self._lock:
                 self._note_pin(-1)
@@ -285,6 +332,39 @@ class BufferPool:
             self._note_read(1)
             frame.cond.notify_all()
         return buf
+
+    def _fault(self, view: FileView, pid: int) -> bytearray:
+        """The physical read of one fault-in (pool lock NOT held; the
+        loading frame reserves the slot).
+
+        Checks the calling thread's cooperative deadline first — a fault
+        is exactly where a runaway disk-bound query spends its time — and
+        retries a transient ``OSError`` up to ``io_retries`` times with
+        doubling backoff.  :class:`~repro.errors.CorruptDataError` is
+        deterministic (the bytes on disk are wrong) and surfaces
+        immediately so the repository can quarantine the member instead
+        of burning the retry budget re-reading known-bad data."""
+        from ..core.vectors import active_context
+
+        ctx = active_context()
+        if ctx is not None:
+            ctx.checkpoint()   # raises DeadlineExceededError when expired
+        delay = self.io_retry_delay
+        attempt = 0
+        while True:
+            try:
+                return bytearray(view.file.read_page(pid,
+                                                     verify=self.verify))
+            except OSError as exc:
+                if attempt >= self.io_retries:
+                    raise TransientIOError(pid, attempt, exc) from exc
+                attempt += 1
+                with self._lock:
+                    self.stats.read_retries += 1
+                    view.stats.read_retries += 1
+                if delay > 0:
+                    time.sleep(delay)
+                delay *= 2
 
     def new_page_at(self, fid: int) -> tuple[int, bytearray]:
         """Allocate a fresh page in file ``fid``, returned pinned (dirty,

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 import errno as _errno
 import os
+import threading
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -112,6 +114,77 @@ class FaultPlan:
     def die(self, op_desc: str) -> None:
         self.crashed = True
         raise CrashInjected(f"injected crash {op_desc}")
+
+
+class FaultInjector(FaultPlan):
+    """A thread-safe, rate-driven plan for the **live-server** chaos
+    harness.
+
+    The crash-sweep plans above pre-enumerate ``{op: Fault}`` against a
+    single-threaded I/O sequence.  A resident server is different: many
+    worker threads share one buffer pool, so (a) the op counter must be
+    taken under a lock, and (b) the schedule cannot be a fixed op list —
+    interleaving makes op indices non-reproducible across runs.  The
+    injector instead decides *per operation* from a hash of
+    ``(seed, op)``: deterministic for a given seed, stable in
+    distribution under any interleaving.
+
+    Only the **recoverable read-side** kinds are offered — ``oserror``
+    (transient, the pool's retry path absorbs it), ``bitflip`` and
+    ``torn`` (the page CRC catches them; the bytes *on disk* stay clean,
+    so quarantine's re-verify probe finds a healthy member and
+    reinstates it).  ``crash`` is deliberately absent: the server must
+    stay alive.  Writes pass clean by default (the serving workload is
+    read-only; stats flushes must not tear).
+
+    :meth:`pause` stops new faults so the harness can watch the
+    supervisor drain the quarantine and prove recovery; :meth:`resume`
+    re-arms it.
+    """
+
+    def __init__(self, seed: int = 0, rate: float = 0.05,
+                 kinds: tuple[str, ...] = ("oserror", "bitflip", "torn"),
+                 reads_only: bool = True):
+        super().__init__()
+        for k in kinds:
+            if k not in ("oserror", "bitflip", "torn"):
+                raise ValueError(f"live-server injector cannot fire {k!r}")
+        self.seed = seed
+        self.rate = rate
+        self.kinds = tuple(kinds)
+        self.reads_only = reads_only
+        self.paused = False
+        self.by_kind: dict[str, int] = {k: 0 for k in kinds}
+        self._lock = threading.Lock()
+
+    def pause(self) -> None:
+        with self._lock:
+            self.paused = True
+
+    def resume(self) -> None:
+        with self._lock:
+            self.paused = False
+
+    def begin_op(self, what: str) -> Fault | None:
+        with self._lock:
+            op, self.ops = self.ops, self.ops + 1
+            if self.paused or (self.reads_only and what != "read"):
+                return None
+            h = zlib.crc32(f"{self.seed}:{op}".encode("ascii"))
+            if (h & 0xFFFF) / 65536.0 >= self.rate:
+                return None
+            kind = self.kinds[(h >> 16) % len(self.kinds)]
+            self.fired.append((op, kind))
+            self.by_kind[kind] += 1
+            if kind == "oserror":
+                raise OSError(_errno.EIO,
+                              f"injected transient I/O error at op {op} "
+                              f"({what})")
+            if kind == "bitflip":
+                return Fault("bitflip", byte=(h >> 4) % 4096, bit=h & 7)
+            # torn read: keep a short non-empty prefix — the zero padding
+            # in read_page() then trips the page CRC, never silent
+            return Fault("torn", keep_bytes=16 + (h >> 8) % 240)
 
 
 _PLAN: FaultPlan | None = None
