@@ -24,6 +24,18 @@ bounded pool, and **catalog pruning** — repositories where most members
 are schema-disjoint from the query, asserting the pruned members are
 skipped with zero page I/O and the answer stays byte-identical.
 
+A **compression regime** closes the sweep: a codec-rich document
+(low-cardinality, sequential-numeric and prose vectors) is saved both
+as format v4 (per-vector codecs) and as the uncompressed ``fmt=3``
+layout, and a cold query battery runs over each.  The v4 file must read
+fewer pages — roughly in proportion to its cataloged byte-level
+compression ratio — at bounded decode CPU cost, answer byte-identically,
+and evaluate its dictionary-equality selection with *zero* decoded
+values on the predicate vector (machine-asserted through the context's
+decode counters).  A high-cardinality twin checks the fallback edge:
+when values resist coding, v4 degrades gracefully and never costs more
+pages than v3.
+
 Before timing, both queries are checked byte-identical against the
 in-memory document.  Results go to BENCH_disk.json.  Exits nonzero if a
 regime breaks its expected I/O profile (disable with --no-assert;
@@ -235,6 +247,147 @@ def run_prune_regime(sizes, pool_pages, page_size, tmpdir) -> tuple[list, list]:
     return records, failures
 
 
+#: compression regime: cold pages through v4 may exceed the byte-level
+#: compression ratio by at most this much (paging granularity slack)
+COMPRESSION_PAGE_SLACK = 0.25
+#: decode CPU ceiling: the cold v4 battery vs. its uncompressed twin,
+#: asserted only when the twin is long enough to time reliably
+MAX_CODEC_CPU_OVERHEAD = 0.50
+CODEC_TIMING_FLOOR_S = 0.05
+
+COMP_XQ = ("for $i in /r/items/it where $i/cat = 'c3' "
+           "return <o>{$i/id}</o>")
+CAT_PATH = ("r", "items", "it", "cat", "#")
+
+
+def _codec_rich_xml(n_values: int) -> str:
+    """Low-cardinality + sequential-numeric + prose vectors: one per
+    codec (dict, delta, zlib)."""
+    items = "".join(
+        f"<it><id>{100000 + i}</id><cat>c{i % 7}</cat>"
+        f"<note>shared prose prefix, distinct tail {i} of many</note></it>"
+        for i in range(n_values))
+    return f"<r><items>{items}</items></r>"
+
+
+def _high_card_xml(n_values: int) -> str:
+    """High-cardinality, high-entropy values: dictionary and delta coding
+    are inapplicable, so v4 must degrade gracefully (zlib or identity)
+    without ever costing more pages than the uncompressed layout."""
+    import hashlib
+
+    items = "".join(
+        f"<it><v>{hashlib.sha256(str(i).encode()).hexdigest()[:20]}</v></it>"
+        for i in range(n_values))
+    return f"<r><items>{items}</items></r>"
+
+
+def _battery(disk) -> tuple:
+    """The cold battery: a dict-equality selection, a numeric range and a
+    string-equality sweep — together they touch every vector kind."""
+    return (eval_xq(disk, COMP_XQ).to_xml(),
+            eval_query(disk, "//it[id >= 100000]").count(),
+            eval_query(disk, "//it[note = 'no such note']").count())
+
+
+def run_compression_regime(sizes, pool_pages, page_size,
+                           tmpdir) -> tuple[list, list]:
+    from repro.core.context import EvalContext
+
+    records, failures = [], []
+    print("\n== compressed storage (format v4 vs uncompressed fmt=3) ==")
+    for n_people in sizes:
+        n_values = n_people * 10
+        mem = VectorizedDocument.from_xml(_codec_rich_xml(n_values))
+        p4 = os.path.join(tmpdir, f"comp4_{n_people}.vdoc")
+        p3 = os.path.join(tmpdir, f"comp3_{n_people}.vdoc")
+        s4 = mem.save(p4, page_size=page_size)
+        s3 = mem.save(p3, page_size=page_size, fmt=3)
+        byte_ratio = s4["compression_ratio"]
+        expected = _battery(mem)
+
+        timings, reads = {}, {}
+        for fmt, path in (("v3", p3), ("v4", p4)):
+            with VectorizedDocument.open(path, pool_pages=pool_pages) as d:
+                base = d.pool.stats.pages_read
+                with Timer() as t:
+                    got = _battery(d)
+                timings[fmt] = t.elapsed
+                reads[fmt] = d.pool.stats.pages_read - base
+                if got != expected:
+                    failures.append(f"compress n={n_people}: {fmt} answers "
+                                    f"diverge from memory")
+                if d.pool.pinned_total() != 0:
+                    failures.append(f"compress n={n_people}: {fmt} leaked "
+                                    f"pins")
+
+        # the machine assertion: the dict-eq selection decodes nothing
+        with VectorizedDocument.open(p4, pool_pages=pool_pages) as d:
+            ctx = EvalContext.for_doc(d)
+            eval_xq(d, COMP_XQ, ctx=ctx)
+            dict_decodes = ctx.decode_counts(d).get(CAT_PATH, 0)
+        if dict_decodes:
+            failures.append(f"compress n={n_people}: dict-eq selection "
+                            f"decoded {dict_decodes} values (expected 0)")
+
+        page_ratio = reads["v4"] / reads["v3"] if reads["v3"] else 1.0
+        overhead = timings["v4"] / timings["v3"] - 1.0 \
+            if timings["v3"] > 0 else 0.0
+        timed = timings["v3"] >= CODEC_TIMING_FLOOR_S
+        if reads["v4"] >= reads["v3"]:
+            failures.append(f"compress n={n_people}: v4 read {reads['v4']} "
+                            f"cold pages, v3 read {reads['v3']} — "
+                            f"compression saved nothing")
+        if page_ratio > byte_ratio + COMPRESSION_PAGE_SLACK:
+            failures.append(f"compress n={n_people}: cold page ratio "
+                            f"{page_ratio:.2f} not tracking byte ratio "
+                            f"{byte_ratio:.2f}")
+        if timed and overhead > MAX_CODEC_CPU_OVERHEAD:
+            failures.append(f"compress n={n_people}: decoding costs "
+                            f"{overhead * 100:.0f}% cold CPU (budget "
+                            f"{MAX_CODEC_CPU_OVERHEAD * 100:.0f}%)")
+
+        # fallback edge: a high-cardinality twin must never pay pages
+        # for failed compression (a v4 file is never worse than v3)
+        hc = VectorizedDocument.from_xml(_high_card_xml(n_values))
+        h4 = os.path.join(tmpdir, f"hc4_{n_people}.vdoc")
+        h3 = os.path.join(tmpdir, f"hc3_{n_people}.vdoc")
+        hs4 = hc.save(h4, page_size=page_size)
+        hs3 = hc.save(h3, page_size=page_size, fmt=3)
+        if hs4["pages"] > hs3["pages"] * 1.02 + 2:
+            failures.append(f"compress n={n_people}: high-cardinality v4 "
+                            f"file grew past its v3 twin "
+                            f"({hs4['pages']} vs {hs3['pages']} pages)")
+
+        print(f"  n_values={n_values}: byte_ratio={byte_ratio:.3f}"
+              f"  cold pages v3={reads['v3']} v4={reads['v4']}"
+              f" (ratio {page_ratio:.2f})"
+              f"  cpu {overhead * 100:+.0f}%"
+              + ("" if timed else " [below timing floor, not asserted]")
+              + f"  dict_decodes={dict_decodes}"
+              f"  highcard pages v3={hs3['pages']} v4={hs4['pages']}")
+        records.append({
+            "n_people": n_people,
+            "n_values": n_values,
+            "logical_bytes": s4["logical_bytes"],
+            "physical_bytes": s4["physical_bytes"],
+            "byte_ratio": byte_ratio,
+            "codecs": s4["codecs"],
+            "pages_cold_v3": reads["v3"],
+            "pages_cold_v4": reads["v4"],
+            "page_ratio": round(page_ratio, 4),
+            "t_cold_v3_s": timings["v3"],
+            "t_cold_v4_s": timings["v4"],
+            "cpu_overhead": round(overhead, 4),
+            "cpu_timed": timed,
+            "dict_decodes": dict_decodes,
+            "highcard_pages_v3": hs3["pages"],
+            "highcard_pages_v4": hs4["pages"],
+            "highcard_codecs": hs4["codecs"],
+        })
+    return records, failures
+
+
 def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
     records = []
     failures: list[str] = []
@@ -347,6 +500,10 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
         sizes, pool_pages, page_size, tmpdir)
     failures.extend(prune_failures)
 
+    comp_records, comp_failures = run_compression_regime(
+        sizes, pool_pages, page_size, tmpdir)
+    failures.extend(comp_failures)
+
     headers = ["people", "regime", "time (ms)", "reads", "hits", "evict"]
     rows = [[human_count(r["n_people"]), r["regime"], f"{r['t_s'] * 1e3:.2f}",
              r["io_pages_read"], r["io_hits"], r["io_evictions"]]
@@ -371,6 +528,12 @@ def run(sizes, pool_pages, page_size, out_path, do_assert) -> int:
             "misses": PRUNE_MISSES,
             "xq": REPO_XQ,
             "records": prune_records,
+        },
+        "compression_regime": {
+            "xq": COMP_XQ,
+            "page_slack": COMPRESSION_PAGE_SLACK,
+            "max_cpu_overhead": MAX_CODEC_CPU_OVERHEAD,
+            "records": comp_records,
         },
         "checksum_overhead": {str(n): round(v, 4)
                               for n, v in overheads.items()},

@@ -25,10 +25,18 @@ chaos run that violated a property already exits non-zero itself; the
 gate re-deriving the verdict from the payload keeps CI honest if the
 harness's own exit code is ever swallowed by a pipeline step.
 
+``--disk-check`` does the same for ``bench_disk.py``'s compression
+regime in a ``BENCH_disk.json`` payload: the properties are absolute
+(cold v4 pages strictly below v3, the page ratio tracking the cataloged
+byte ratio within the recorded slack, zero decoded values on the
+dictionary-equality predicate vector, decode CPU under the recorded
+ceiling whenever the run was long enough to time) — no baseline needed.
+
 Usage::
 
     gate.py FRESH.json [BASELINE.json]     # default baseline BENCH_xq.json
     gate.py --chaos-check CHAOS_serve.json # property check, no baseline
+    gate.py --disk-check BENCH_disk.json   # compression properties
 """
 
 from __future__ import annotations
@@ -127,6 +135,45 @@ def chaos_check(payload: dict) -> list[str]:
     return bad
 
 
+def disk_check(payload: dict) -> list[str]:
+    """Violations of the compression-regime properties recorded in a
+    ``BENCH_disk.json`` payload (empty list = pass)."""
+    bad: list[str] = []
+    regime = payload.get("compression_regime")
+    if not isinstance(regime, dict):
+        return ["payload has no compression_regime "
+                "(not a bench_disk.py run?)"]
+    records = regime.get("records")
+    if not records:
+        return ["compression regime has no records"]
+    slack = regime.get("page_slack", 0.25)
+    ceiling = regime.get("max_cpu_overhead", 0.50)
+    for r in records:
+        tag = f"n={r.get('n_people')}"
+        if r.get("pages_cold_v4", 1) >= r.get("pages_cold_v3", 0):
+            bad.append(f"{tag}: v4 cold pages {r.get('pages_cold_v4')} not "
+                       f"below v3's {r.get('pages_cold_v3')}")
+        if r.get("page_ratio", 1.0) > r.get("byte_ratio", 0.0) + slack:
+            bad.append(f"{tag}: page ratio {r.get('page_ratio')} outside "
+                       f"byte ratio {r.get('byte_ratio')} + {slack}")
+        if r.get("dict_decodes", 1) != 0:
+            bad.append(f"{tag}: dict-eq selection decoded "
+                       f"{r.get('dict_decodes')} values (must be 0)")
+        if r.get("cpu_timed") and r.get("cpu_overhead", 0.0) > ceiling:
+            bad.append(f"{tag}: decode CPU overhead {r.get('cpu_overhead')} "
+                       f"over the {ceiling} ceiling")
+        if r.get("highcard_pages_v4", 1) > \
+                r.get("highcard_pages_v3", 0) * 1.02 + 2:
+            bad.append(f"{tag}: high-cardinality v4 file larger than its "
+                       f"v3 twin")
+    failures = payload.get("profile_failures")
+    if failures:
+        bad.extend(f"bench failure: {f}" for f in failures)
+    elif failures is None:
+        bad.append("payload records no failures list")
+    return bad
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("fresh", help="freshly produced bench_xq payload")
@@ -140,6 +187,10 @@ def main(argv: list[str] | None = None) -> int:
                     help="treat FRESH as a CHAOS_serve.json payload and "
                          "re-assert its fault-tolerance properties "
                          "(no baseline)")
+    ap.add_argument("--disk-check", action="store_true",
+                    help="treat FRESH as a BENCH_disk.json payload and "
+                         "re-assert its compression-regime properties "
+                         "(no baseline)")
     args = ap.parse_args(argv)
 
     try:
@@ -147,6 +198,19 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ValueError) as exc:
         print(f"gate: cannot load payloads: {exc}", file=sys.stderr)
         return 2
+
+    if args.disk_check:
+        bad = disk_check(fresh)
+        if bad:
+            for b in bad:
+                print(f"gate: disk FAIL — {b}", file=sys.stderr)
+            return 1
+        recs = fresh["compression_regime"]["records"]
+        ratios = ", ".join(f"{r['n_people']}:{r['page_ratio']:.2f}"
+                           for r in recs)
+        print(f"gate: disk ok — {len(recs)} compression record(s), "
+              f"cold page ratios {{{ratios}}}; properties hold")
+        return 0
 
     if args.chaos_check:
         bad = chaos_check(fresh)

@@ -5,16 +5,19 @@ Subcommands::
     repro-xq stats FILE [--pool N]           vectorization statistics
     repro-xq query FILE QUERY [--mode vx|naive] [--values] [--canonical]
                               [--plan] [--pool N] [--io-stats]
+                              [--no-codec-eval]
     repro-xq reconstruct FILE [--pool N]     vectorize then decompress back
-    repro-xq save FILE OUT [--page-size B]   write the on-disk vdoc format
+    repro-xq save FILE OUT [--page-size B] [--format 3|4]
+                                             write the on-disk vdoc format
     repro-xq open FILE [--pool N]            print a saved vdoc's catalog
     repro-xq check TARGET [--deep]           verify a .vdoc or a repository
     repro-xq gen N [--seed S]                synthetic XMark-like document
-    repro-xq index build FILE [--path P]     persist value indexes (format v3)
-    repro-xq index ls FILE                   list persisted index segments
+    repro-xq index build FILE [--path P]     persist value indexes
+    repro-xq index ls FILE                   per-vector codec + bytes and
+                                             persisted index segments
     repro-xq repo init DIR --name NAME       create an empty repository
     repro-xq repo add DIR FILE [--name N]    add an XML or .vdoc member
-    repro-xq repo ls DIR                     members + path catalog summary
+    repro-xq repo ls DIR                     members, catalog + compression
     repro-xq repo query DIR QUERY [--pool N] [--io-stats] [--per-combo]
     repro-xq serve DIR [--port P] [--pool N] [--workers W]
 
@@ -106,10 +109,25 @@ def _index_cmd(args) -> int:
     else:
         assert args.index_cmd == "ls"
         with open_vdoc(args.file) as vdoc:
+            # everything below is catalog math: no vector page is read
+            comp = vdoc.compression_stats()
+            print("vectors:")
+            for v in comp["vectors"]:
+                lb, pb = v["logical_bytes"], v["physical_bytes"]
+                size = "bytes uncataloged (pre-v4)" if lb is None \
+                    else f"logical={lb} disk={pb}"
+                print(f"  {v['path']:32} n={v['n']} "
+                      f"codec={v['codec']} {size}")
+            if comp["compression_ratio"] is not None:
+                print(f"compression: logical={comp['logical_bytes']} "
+                      f"disk={comp['physical_bytes']} "
+                      f"ratio={comp['compression_ratio']}")
             handles = sorted(vdoc._vindexes.items())
             if not handles:
                 print(f"{args.file}: no index segments (format v2 or "
-                      f"unindexed v3)")
+                      f"unindexed)")
+            else:
+                print("indexes:")
             for vpath, h in handles:
                 print(f"  {'/'.join(vpath):32} n={len(vdoc.vectors[vpath])} "
                       f"distinct={h.distinct} buckets={h.n_buckets} "
@@ -134,24 +152,46 @@ def _repo_cmd(args) -> int:
         with Repository.open(args.dir) as repo:
             print(f"repository {repo.name!r}: "
                   f"{len(repo.members())} member(s)")
+            # compression facts come from the manifest (recorded at add
+            # time) — zero page I/O, like the path catalog itself
+            logical = physical = 0
+            cataloged = True
             for m in repo.manifest["members"]:
                 values = sum(c for p, c in m["paths"]
                              if p and p[-1] == "#")
-                print(f"  {m['name']:20} {m['file']:24} "
-                      f"paths={len(m['paths'])} values={values}")
+                line = (f"  {m['name']:20} {m['file']:24} "
+                        f"paths={len(m['paths'])} values={values}")
+                comp = m.get("compression")
+                if comp is None:
+                    cataloged = False
+                else:
+                    logical += comp["logical_bytes"]
+                    physical += comp["physical_bytes"]
+                    mix = " ".join(f"{k}={v}" for k, v
+                                   in sorted(comp["codecs"].items()))
+                    line += (f" codecs[{mix}] logical="
+                             f"{comp['logical_bytes']} disk="
+                             f"{comp['physical_bytes']}")
+                print(line)
+            if cataloged and repo.manifest["members"]:
+                ratio = round(physical / logical, 4) if logical else 1.0
+                print(f"compression: logical={logical} disk={physical} "
+                      f"ratio={ratio}")
     else:
         assert args.repo_cmd == "query"
         with Repository.open(args.dir, pool_pages=args.pool) as repo:
             try:
                 text = args.query.lstrip()
                 if text.startswith("/"):
-                    for name, res in repo.xpath(text,
-                                                deadline=args.deadline):
+                    for name, res in repo.xpath(
+                            text, deadline=args.deadline,
+                            use_codecs=not args.no_codec_eval):
                         print(f"{name}: count {res.count()}")
                 else:
                     result = repo.xq(text, batched=not args.per_combo,
                                      prune=not args.no_prune,
                                      use_indexes=not args.no_index,
+                                     use_codecs=not args.no_codec_eval,
                                      deadline=args.deadline)
                     if result.pruned:
                         print("pruned (catalog, zero I/O): "
@@ -196,6 +236,11 @@ def main(argv: list[str] | None = None) -> int:
     p_query.add_argument("--no-index", action="store_true",
                          help="XQ only: forbid index probes (plan every op "
                               "as a scan)")
+    p_query.add_argument("--no-codec-eval", action="store_true",
+                         help="forbid code-space predicate evaluation over "
+                              "dictionary-coded vectors; predicates run "
+                              "over the decoded string columns instead "
+                              "(byte-identical results)")
     p_query.add_argument("--deadline", type=float, default=None,
                          metavar="SEC",
                          help="cooperative deadline in seconds; an "
@@ -218,6 +263,10 @@ def main(argv: list[str] | None = None) -> int:
     p_save.add_argument("out")
     p_save.add_argument("--page-size", type=int, default=None,
                         help="page size in bytes (default 4096)")
+    p_save.add_argument("--format", type=int, choices=(3, 4), default=None,
+                        help="on-disk format: 4 (default) picks a "
+                             "compression codec per vector; 3 writes the "
+                             "uncompressed legacy layout")
 
     p_open = sub.add_parser("open",
                             help="open a saved vdoc and print its on-disk "
@@ -300,6 +349,10 @@ def main(argv: list[str] | None = None) -> int:
     r_query.add_argument("--no-index", action="store_true",
                          help="forbid index probes (plan every op as a "
                               "scan)")
+    r_query.add_argument("--no-codec-eval", action="store_true",
+                         help="forbid code-space predicate evaluation "
+                              "over dictionary-coded vectors "
+                              "(byte-identical results)")
     r_query.add_argument("--deadline", type=float, default=None,
                          metavar="SEC",
                          help="cooperative deadline in seconds spanning "
@@ -383,7 +436,8 @@ def main(argv: list[str] | None = None) -> int:
             try:
                 if is_xpath:
                     result = eval_query(vdoc, text, mode=args.mode,
-                                        ctx=ctx)
+                                        ctx=ctx,
+                                        use_codecs=not args.no_codec_eval)
                     print(f"count {result.count()}")
                     if args.values:
                         for v in result.text_values():
@@ -394,6 +448,7 @@ def main(argv: list[str] | None = None) -> int:
                 else:
                     result = eval_xq(vdoc, text, mode=args.mode,
                                      use_indexes=not args.no_index,
+                                     use_codecs=not args.no_codec_eval,
                                      ctx=ctx)
                     if args.plan and isinstance(result, XQVXResult):
                         print(result.plan.explain(), file=sys.stderr)
@@ -408,7 +463,8 @@ def main(argv: list[str] | None = None) -> int:
         elif args.cmd == "save":
             with open(args.file, "r", encoding="utf-8") as f:
                 vdoc = VectorizedDocument.from_xml(f.read())
-            summary = vdoc.save(args.out, page_size=args.page_size)
+            summary = vdoc.save(args.out, page_size=args.page_size,
+                                fmt=args.format)
             for k, v in summary.items():
                 print(f"{k:16} {v}")
         elif args.cmd == "open":

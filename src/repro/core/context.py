@@ -59,22 +59,60 @@ class VectorCache:
 
     Shared across every operation of a query — including all operations of
     an XQ graph reduction — so the engine's scan-at-most-once invariant
-    holds for whole multi-operation queries, not just single paths."""
+    holds for whole multi-operation queries, not just single paths.
 
-    def __init__(self, vectors: dict[tuple, Vector]):
+    A vector may be read through several *representations* in one query —
+    the string column, the dictionary codes of a ``dict``-coded vector,
+    the float view — all derived from the same single chain pass.  The
+    cache funnels them through one logical **touch** per vector
+    (:meth:`Vector.note_touch`), so the scan-once invariant counts
+    physical passes, not representations.  ``codec_eval=False`` is the
+    ``--no-codec-eval`` escape hatch: :meth:`dict_codes` then always
+    returns ``None`` and every predicate degrades to the plain string
+    column, byte-identically."""
+
+    def __init__(self, vectors: dict[tuple, Vector],
+                 codec_eval: bool = True):
         self._vectors = vectors
         self._loaded: dict[tuple, np.ndarray] = {}
+        self._codes: dict[tuple, tuple] = {}
+        self._touched: set[tuple] = set()
+        self.codec_eval = codec_eval
+
+    def _touch(self, path: tuple, vec: Vector) -> None:
+        if path not in self._touched:
+            self._touched.add(path)
+            vec.note_touch()
 
     def column(self, path: tuple) -> np.ndarray:
         col = self._loaded.get(path)
         if col is None:
-            col = self._vectors[path].scan()
+            vec = self._vectors[path]
+            self._touch(path, vec)
+            col = vec._col()
             self._loaded[path] = col
         return col
 
+    def dict_codes(self, path: tuple):
+        """``(keys, codes)`` of a dictionary-coded vector — the
+        decode-free predicate surface — or ``None`` (not dict-coded, or
+        codec evaluation disabled)."""
+        if not self.codec_eval:
+            return None
+        dc = self._codes.get(path)
+        if dc is None:
+            vec = self._vectors[path]
+            dc = vec.dict_codes()
+            if dc is None:
+                return None
+            self._touch(path, vec)
+            self._codes[path] = dc
+        return dc
+
     def floats(self, path: tuple) -> np.ndarray:
-        self.column(path)  # ensure the load is accounted for
-        return self._vectors[path].floats()
+        vec = self._vectors[path]
+        self._touch(path, vec)  # ensure the load is accounted for
+        return vec.floats()
 
 
 class EvalContext:
@@ -85,17 +123,23 @@ class EvalContext:
     construction — that is the regression the batched executor fixes).
     """
 
-    def __init__(self, docs=(), strict_passes: bool = True):
+    def __init__(self, docs=(), strict_passes: bool = True,
+                 codec_eval: bool = True):
         self.docs: list = list(docs)
         self.strict_passes = strict_passes
+        #: evaluate predicates over dictionary codes where possible
+        #: (``--no-codec-eval`` clears this; results are byte-identical)
+        self.codec_eval = codec_eval
         self._caches: dict[int, VectorCache] = {}
         self._passes: dict[tuple, int] = {}
         # per-context accounting windows, keyed by id(I/O unit): logical
-        # scans and physical page reads performed *by this context* — the
-        # shared vectors carry no per-query state, so concurrent contexts
-        # over the same document never see each other's counts
+        # scans, physical page reads, and decoded string values performed
+        # *by this context* — the shared vectors carry no per-query state,
+        # so concurrent contexts over the same document never see each
+        # other's counts
         self._scans: dict[int, int] = {}
         self._io: dict[int, int] = {}
+        self._decodes: dict[int, int] = {}
         #: absolute monotonic instant after which checkpoint() raises
         self.deadline: float | None = None
         #: the deadline budget in seconds (for the error message)
@@ -120,7 +164,7 @@ class EvalContext:
         """The per-document vector cache (created on first use)."""
         c = self._caches.get(id(vdoc))
         if c is None:
-            c = VectorCache(vdoc.vectors)
+            c = VectorCache(vdoc.vectors, codec_eval=self.codec_eval)
             self._caches[id(vdoc)] = c
         return c
 
@@ -173,6 +217,7 @@ class EvalContext:
             uid = id(u)
             self._scans.pop(uid, None)
             self._io.pop(uid, None)
+            self._decodes.pop(uid, None)
         self._caches.pop(id(vdoc), None)
         self._passes = {k: v for k, v in self._passes.items()
                         if k[0] != id(vdoc)}
@@ -191,10 +236,28 @@ class EvalContext:
             uid = id(unit)
             self._io[uid] = self._io.get(uid, 0) + pages
 
+    def note_decode(self, unit, count: int) -> None:
+        """Record ``count`` string values decoded from encoded storage by
+        this context while serving ``unit`` — charged when (and only when)
+        a string column is actually built from the stored bytes, so a
+        dictionary-coded vector queried purely in code space contributes
+        zero.  The decode-free evaluation claim is asserted through
+        :meth:`decode_counts`, not taken on faith."""
+        if count:
+            uid = id(unit)
+            self._decodes[uid] = self._decodes.get(uid, 0) + count
+
     def scan_counts(self, vdoc) -> dict[tuple, int]:
         """This context's per-unit scan counts for ``vdoc`` (tests assert
         the scan-once invariant through this)."""
         return {u.path: self._scans.get(id(u), 0) for u in vdoc.io_units()}
+
+    def decode_counts(self, vdoc) -> dict[tuple, int]:
+        """This context's per-unit decoded-value counts for ``vdoc`` (the
+        zero-decode machine assertion for code-space evaluation reads
+        this)."""
+        return {u.path: self._decodes.get(id(u), 0)
+                for u in vdoc.io_units()}
 
     def pages_in_window(self, unit) -> int:
         """Physical pages this context read while materializing ``unit``."""

@@ -67,8 +67,13 @@ class TreeResult:
 
 
 def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx",
-               ctx: EvalContext | None = None):
-    """Evaluate ``query`` (an XPath string or parsed :class:`Path`)."""
+               ctx: EvalContext | None = None, use_codecs: bool = True):
+    """Evaluate ``query`` (an XPath string or parsed :class:`Path`).
+
+    ``use_codecs=False`` (the ``--no-codec-eval`` escape hatch) forbids
+    code-space predicate evaluation over dictionary-coded vectors —
+    every predicate then runs over the decoded string column, with
+    byte-identical results."""
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
     path = query if isinstance(query, Path) else parse_xpath(query)
@@ -79,6 +84,7 @@ def eval_query(vdoc: VectorizedDocument, query: str | Path, mode: str = "vx",
 
     if ctx is None:
         ctx = EvalContext.for_doc(vdoc)
+    ctx.codec_eval = use_codecs
     with ctx.guard(vdoc):
         result: VXResult = evaluate_vx(vdoc, path, ctx)
     return result
@@ -121,7 +127,7 @@ class XQVXResult:
 
 def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx",
             batched: bool = True, ctx: EvalContext | None = None,
-            use_indexes: bool = True):
+            use_indexes: bool = True, use_codecs: bool = True):
     """Evaluate an XQ query (string or parsed :class:`XQuery`).
 
     ``vx`` compiles to (Gq, Gr), plans, reduces over extended vectors and
@@ -133,6 +139,9 @@ def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx",
     ``use_indexes=False`` forbids index probes (the planner prices every
     op as a scan) — the measured baseline of the indexed benchmark regime
     and the reference side of the indexed-vs-scan identity tests.
+    ``use_codecs=False`` likewise forbids code-space evaluation over
+    dictionary-coded vectors (the ``--no-codec-eval`` escape hatch);
+    results are byte-identical with any combination.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -148,8 +157,10 @@ def eval_xq(vdoc: VectorizedDocument, query: str | XQuery, mode: str = "vx",
         ctx = EvalContext.for_doc(vdoc, strict_passes=batched)
     else:
         ctx.strict_passes = batched
+    ctx.codec_eval = use_codecs
     with ctx.guard(vdoc):
-        plan = plan_query(gq, vdoc, use_indexes=use_indexes)
+        plan = plan_query(gq, vdoc, use_indexes=use_indexes,
+                          use_codecs=use_codecs)
         table = reduce_query(vdoc, gq, plan, ctx, batched=batched)
         out = build_result(vdoc, gr, table, ctx)
     return XQVXResult(out, plan, table)

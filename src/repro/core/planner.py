@@ -44,6 +44,9 @@ from .xpath.vx_eval import _alignments
 PROBE_OVERHEAD = 16.0
 #: assumed selectivity of a range (ordering-operator) probe
 RANGE_FRACTION = 1 / 3
+#: relative cost of an integer sweep over dictionary codes vs a string
+#: sweep over the column (no decode, fixed-width compares)
+DICT_SWEEP_FRACTION = 0.25
 
 
 @dataclass(frozen=True)
@@ -52,12 +55,12 @@ class PlanOp:
     payload: TreeEdge | ConstEdge | EqEdge
     cost: float    # statistics estimate of the *chosen* access path
     op_id: int = 0           # stable id from the query graph (tie-breaks)
-    access: str = "scan"     # 'scan' | 'index'  (the IndexProbe variant)
+    access: str = "scan"     # 'scan' | 'index' | 'dict'
     scan_cost: float = 0.0   # the scan estimate (== cost when scanning)
 
     def __str__(self) -> str:
         est = f"est {self.cost:.0f}"
-        if self.access == "index":
+        if self.access != "scan":
             est += f", scan {self.scan_cost:.0f}"
         return f"{self.kind:11s} [{self.access:5s}] {self.payload}  ({est})"
 
@@ -193,22 +196,46 @@ def _probe_stats(vdoc, cpaths: list[tuple], rel: tuple, guide_set: set):
     return n_total, u_total
 
 
-def _sel_access(vdoc, sel: ConstEdge, cpaths, guide_set,
-                scan_cost: float) -> tuple[str, float]:
-    """Choose the access path of one selection: ``('scan'|'index', cost)``."""
-    stats = _probe_stats(vdoc, cpaths, sel.rel, guide_set)
-    if stats is None:
-        return "scan", scan_cost
-    n_total, u_total = stats
-    if sel.op in ("=", "!="):
-        # expected posting size of one key
-        probe = n_total / max(u_total, 1.0) + PROBE_OVERHEAD
-    else:
-        # range probe: gathers + sorts an assumed fraction of the rows
-        probe = n_total * RANGE_FRACTION + PROBE_OVERHEAD
-    if probe < scan_cost:
-        return "index", probe
-    return "scan", scan_cost
+def _dict_coded(vdoc, cpaths, rel, guide_set) -> bool:
+    """Is *every* concrete text path of this operand stored
+    dictionary-coded?  (Catalog lookup only — no page I/O.)  All paths
+    must be coded: a mixed operand would decode the stragglers anyway,
+    so it is priced as a plain scan."""
+    qpaths = _side_qpaths(cpaths, rel, guide_set)
+    return bool(qpaths) and \
+        all(vdoc.codec_of(q) == "dict" for q in qpaths)
+
+
+def _sel_access(vdoc, sel: ConstEdge, cpaths, guide_set, scan_cost: float,
+                use_indexes: bool = True,
+                use_codecs: bool = True) -> tuple[str, float]:
+    """Choose the access path of one selection:
+    ``('scan'|'index'|'dict', cost)``.
+
+    Three candidates compete on estimated cost: the column sweep, the
+    value-index probe (when every operand path is indexed), and — for
+    equality operators over all-dictionary-coded operands — the
+    code-space sweep (integer compares over the stored codes, no
+    decode).  Ties prefer index over dict over scan (a probe touches the
+    fewest pages, a code sweep the fewest CPU cycles)."""
+    candidates = [(scan_cost, 2, "scan")]
+    if use_indexes:
+        stats = _probe_stats(vdoc, cpaths, sel.rel, guide_set)
+        if stats is not None:
+            n_total, u_total = stats
+            if sel.op in ("=", "!="):
+                # expected posting size of one key
+                probe = n_total / max(u_total, 1.0) + PROBE_OVERHEAD
+            else:
+                # range probe: gathers + sorts an assumed fraction of rows
+                probe = n_total * RANGE_FRACTION + PROBE_OVERHEAD
+            candidates.append((probe, 0, "index"))
+    if use_codecs and sel.op in ("=", "!=") and \
+            _dict_coded(vdoc, cpaths, sel.rel, guide_set):
+        candidates.append(
+            (scan_cost * DICT_SWEEP_FRACTION + PROBE_OVERHEAD, 1, "dict"))
+    cost, _, access = min(candidates)
+    return access, cost
 
 
 def _join_access(vdoc, join: EqEdge, var_paths, guide_set,
@@ -229,8 +256,14 @@ def _join_access(vdoc, join: EqEdge, var_paths, guide_set,
     return "scan", scan_cost
 
 
-def plan_query(gq: QueryGraph, vdoc, use_indexes: bool = True) -> Plan:
-    """Topological + heuristic operation ordering for one document."""
+def plan_query(gq: QueryGraph, vdoc, use_indexes: bool = True,
+               use_codecs: bool = True) -> Plan:
+    """Topological + heuristic operation ordering for one document.
+
+    ``use_indexes`` admits value-index probes, ``use_codecs`` admits the
+    code-space (``access='dict'``) sweep for equality selections over
+    dictionary-coded vectors — both are costing switches; results are
+    byte-identical with any combination."""
     var_paths = _var_paths(gq, vdoc)
     guide_set = set(vdoc.catalog.dataguide())
     var_card = {v: _cardinality(vdoc, var_paths[v]) for v in gq.variables}
@@ -244,8 +277,9 @@ def plan_query(gq: QueryGraph, vdoc, use_indexes: bool = True) -> Plan:
     sel_plan: dict[int, tuple[str, float, float]] = {}
     for s in gq.selections:
         scan = _text_cardinality(vdoc, var_paths[s.var], s.rel)
-        access, cost = (_sel_access(vdoc, s, var_paths[s.var], guide_set,
-                                    scan) if use_indexes else ("scan", scan))
+        access, cost = _sel_access(vdoc, s, var_paths[s.var], guide_set,
+                                   scan, use_indexes=use_indexes,
+                                   use_codecs=use_codecs)
         sel_plan[id(s)] = (access, cost, scan)
     join_plan: dict[int, tuple[str, float, float]] = {}
     for j in gq.joins:

@@ -49,15 +49,18 @@ class VectorizedDocument:
     # -- on-disk format (repro.storage) ------------------------------------
 
     def save(self, path: str, page_size: int | None = None,
-             index_paths=None) -> dict:
+             index_paths=None, fmt: int | None = None) -> dict:
         """Write the document to ``path`` in the paged on-disk format
         (slotted pages; one heap-file chain per vector).  Returns a summary
         dict (pages, bytes, vectors).  ``index_paths`` — ``"all"`` or an
         iterable of vector paths — additionally persists value-index
-        segments for those vectors (format v3)."""
+        segments for those vectors (format v3+).  ``fmt=3`` writes the
+        uncompressed legacy layout instead of codec-compressed v4."""
         from ..storage import vdocfile
 
         kwargs = {} if page_size is None else {"page_size": page_size}
+        if fmt is not None:
+            kwargs["fmt"] = fmt
         return vdocfile.save_vdoc(self, path, index_paths=index_paths,
                                   **kwargs)
 
@@ -100,6 +103,13 @@ class VectorizedDocument:
         cumulative ``pages_read``, ``n_pages``): the data vectors, plus —
         for disk-backed documents — the persistent index segments."""
         return list(self.vectors.values())
+
+    def codec_of(self, path) -> str | None:
+        """Cataloged storage-codec name of one vector, or ``None`` —
+        in-memory vectors are not encoded, so there is nothing for the
+        planner's code-space access path to exploit here.  Disk-backed
+        documents answer from the catalog with zero page I/O."""
+        return None
 
     # -- value indexes -----------------------------------------------------
 

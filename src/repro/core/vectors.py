@@ -50,6 +50,28 @@ def active_context():
     return getattr(_ACTIVE, "ctx", None)
 
 
+def parse_float_column(col: np.ndarray) -> np.ndarray:
+    """One string column parsed as float64 (NaN where non-numeric) — the
+    engine's single numeric-text semantics (:func:`repro.util.parse_float`,
+    which rejects underscore digit separators) applied in bulk.  Shared
+    by :meth:`Vector.floats` and the dictionary-coded fast path, which
+    parses the ``u`` distinct *keys* and gathers — same per-value
+    semantics, so the two paths agree exactly."""
+    under = np.char.find(col, "_") >= 0 if len(col) else \
+        np.zeros(0, dtype=bool)
+    try:
+        floats = col.astype(np.float64)
+        floats[under] = np.nan
+    except ValueError:
+        floats = np.full(len(col), np.nan)
+        for i, v in enumerate(col):
+            try:
+                floats[i] = parse_float(v)
+            except ValueError:
+                pass
+    return floats
+
+
 class Vector:
     __slots__ = ("path", "_values", "_floats", "pages_read", "n_pages")
 
@@ -78,16 +100,32 @@ class Vector:
 
     # -- instrumented access (query hot path) -----------------------------
 
-    def scan(self) -> np.ndarray:
-        """Return the full column, reporting one sequential scan to the
-        calling thread's active evaluation context (if any).  A scan is
-        also a deadline checkpoint — column materialization is the unit
-        of work a cooperative cancellation must interleave with."""
+    def note_touch(self) -> None:
+        """Report one logical scan of this vector to the calling thread's
+        active evaluation context (if any).  A touch is also a deadline
+        checkpoint — column materialization is the unit of work a
+        cooperative cancellation must interleave with.  The
+        :class:`~repro.core.context.VectorCache` funnels *every* access
+        representation (string column, dictionary codes, floats) through
+        one touch per vector per query, so reading a vector both as codes
+        and as strings still counts as the single scan it physically is."""
         ctx = active_context()
         if ctx is not None:
             ctx.checkpoint()
             ctx.note_scan(self)
+
+    def scan(self) -> np.ndarray:
+        """Return the full column, reporting one sequential scan to the
+        calling thread's active evaluation context (if any)."""
+        self.note_touch()
         return self._col()
+
+    def dict_codes(self):
+        """``(sorted keys, per-value int64 codes)`` when the vector is
+        stored dictionary-coded and can be queried in code space without
+        building the string column; ``None`` otherwise (always ``None``
+        for in-memory vectors — there is nothing to avoid decoding)."""
+        return None
 
     def floats(self) -> np.ndarray:
         """The column parsed as float64 (NaN where non-numeric), cached.
@@ -100,20 +138,7 @@ class Vector:
         the numpy version's ``astype`` string parser).
         """
         if self._floats is None:
-            col = self._col()
-            under = np.char.find(col, "_") >= 0 if len(col) else \
-                np.zeros(0, dtype=bool)
-            try:
-                floats = col.astype(np.float64)
-                floats[under] = np.nan
-            except ValueError:
-                floats = np.full(len(col), np.nan)
-                for i, v in enumerate(col):
-                    try:
-                        floats[i] = parse_float(v)
-                    except ValueError:
-                        pass
-            self._floats = floats
+            self._floats = parse_float_column(self._col())
         return self._floats
 
     # -- uninstrumented access (reconstruction / materialization) ---------

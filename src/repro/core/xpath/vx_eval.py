@@ -63,15 +63,34 @@ def _alignments(steps: tuple, cpath: tuple) -> list[tuple]:
 
 
 def pred_mask(cache: VectorCache, qpath: tuple, op: str, const: str) -> np.ndarray:
-    """Boolean mask over the ordinals of text path ``qpath``."""
-    if op == "=":
-        return cache.column(qpath) == const
-    if op == "!=":
+    """Boolean mask over the ordinals of text path ``qpath``.
+
+    Every predicate evaluator funnels through here — XPath predicates and
+    both XQ executors — so this is the one place code-space evaluation
+    plugs in: when the vector is stored dictionary-coded (and codec
+    evaluation is on), an equality predicate maps its constant into code
+    space with one ``searchsorted`` over the ``u`` sorted keys and
+    compares integers; the string column is never built.  An absent
+    constant maps to code -1, which no value code equals — exactly the
+    all-False (``=``) / all-True (``!=``) masks of the string compare, so
+    results are byte-identical either way.  Ordering predicates use the
+    float view, which a ``dict``/``delta``-coded vector also derives
+    without building strings."""
+    if op in ("=", "!="):
+        dc = cache.dict_codes(qpath)
+        if dc is not None:
+            keys, codes = dc
+            pos = np.searchsorted(keys, const) if len(keys) else 0
+            code = pos if pos < len(keys) and keys[pos] == const else -1
+            return codes == code if op == "=" else codes != code
+        if op == "=":
+            return cache.column(qpath) == const
         return cache.column(qpath) != const
     try:
         c = parse_float(const)
     except ValueError:
-        n = len(cache.column(qpath))
+        # all-False, sized off the float view (never forces a decode)
+        n = len(cache.floats(qpath))
         return np.zeros(n, dtype=bool)
     f = cache.floats(qpath)
     if op == "<":

@@ -1,8 +1,10 @@
 """Value indexes over data vectors: build, probe, (de)serialize."""
 
 from .segment import (N_DATA_RECORDS, N_KEY_RECORDS, check_segment,
-                      decode_segment, encode_segment)
-from .vindex import (ValueIndex, build_value_index, count_in_ranges,
+                      decode_segment, encode_segment, keys_from_blob,
+                      keys_to_blob)
+from .vindex import (ValueIndex, build_value_index,
+                     build_value_index_from_codes, count_in_ranges,
                      merge_codings, select_keep, value_hash)
 
 __all__ = [
@@ -10,10 +12,13 @@ __all__ = [
     "N_KEY_RECORDS",
     "ValueIndex",
     "build_value_index",
+    "build_value_index_from_codes",
     "check_segment",
     "count_in_ranges",
     "decode_segment",
     "encode_segment",
+    "keys_from_blob",
+    "keys_to_blob",
     "merge_codings",
     "select_keep",
     "value_hash",

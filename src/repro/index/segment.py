@@ -54,14 +54,44 @@ def _int_bytes(a) -> bytes:
     return np.ascontiguousarray(a, dtype="<i8").tobytes()
 
 
+def keys_to_blob(keys: np.ndarray) -> tuple[int, bytes]:
+    """Canonical ``(itemsize, raw little-endian <U buffer)`` of a sorted
+    key dictionary — shared by index segments and the ``dict`` storage
+    codec, so the two persisted dictionary forms are byte-compatible."""
+    if not len(keys):
+        return 0, b""
+    karr = np.ascontiguousarray(keys, dtype=f"<U{keys.itemsize // 4 or 1}")
+    return karr.itemsize, karr.tobytes()
+
+
+def keys_from_blob(name: str, u: int, itemsize: int,
+                   blob: bytes) -> np.ndarray:
+    """Rebuild (and validate) a ``u``-key dictionary from its raw ``<U``
+    buffer; the trust-boundary counterpart of :func:`keys_to_blob`.
+    ``name`` labels the owning structure in error messages."""
+    if u == 0:
+        if itemsize != 0 or blob:
+            raise CorruptDataError(f"{name}: key buffer not empty for "
+                                   f"0 keys")
+        return np.empty(0, dtype="<U1")
+    if itemsize <= 0 or itemsize % 4 or len(blob) != u * itemsize:
+        raise CorruptDataError(
+            f"{name}: key buffer is {len(blob)} bytes, expected {u} keys "
+            f"of itemsize {itemsize}")
+    cp = np.frombuffer(blob, dtype="<u4")
+    if cp.size and (int(cp.max()) > 0x10FFFF
+                    or bool(np.any((cp >= 0xD800) & (cp < 0xE000)))):
+        raise CorruptDataError(f"{name}: key buffer holds invalid code "
+                               f"points")
+    keys = np.frombuffer(blob, dtype=f"<U{itemsize // 4}")
+    return keys.astype(np.str_, copy=False)
+
+
 def encode_segment(vi: ValueIndex) -> tuple[list[bytes], list[bytes]]:
     """``(key records, data records)`` for one index."""
     u = len(vi.keys)
-    if u:
-        karr = np.ascontiguousarray(vi.keys, dtype=f"<U{vi.keys.itemsize // 4 or 1}")
-        keys = [_ITEMSIZE.pack(karr.itemsize), karr.tobytes()]
-    else:
-        keys = [_ITEMSIZE.pack(0), b""]
+    itemsize, blob = keys_to_blob(vi.keys)
+    keys = [_ITEMSIZE.pack(itemsize), blob]
     data = [
         _HEADER.pack(vi.n, len(vi.keys), vi.n_buckets),
         _int_bytes(vi.offsets),
@@ -126,24 +156,7 @@ def decode_segment(vpath: tuple, n: int, key_records: list[bytes],
             f"vindex {name}: malformed key stream "
             f"({len(key_records)} records)")
     (itemsize,) = _ITEMSIZE.unpack(key_records[0])
-    blob = key_records[1]
-    if u == 0:
-        if itemsize != 0 or blob:
-            raise CorruptDataError(
-                f"vindex {name}: key stream not empty for 0 keys")
-        keys = np.empty(0, dtype="<U1")
-    else:
-        if itemsize <= 0 or itemsize % 4 or len(blob) != u * itemsize:
-            raise CorruptDataError(
-                f"vindex {name}: key buffer is {len(blob)} bytes, "
-                f"expected {u} keys of itemsize {itemsize}")
-        cp = np.frombuffer(blob, dtype="<u4")
-        if cp.size and (int(cp.max()) > 0x10FFFF
-                        or bool(np.any((cp >= 0xD800) & (cp < 0xE000)))):
-            raise CorruptDataError(
-                f"vindex {name}: key buffer holds invalid code points")
-        keys = np.frombuffer(blob, dtype=f"<U{itemsize // 4}")
-        keys = keys.astype(np.str_, copy=False)
+    keys = keys_from_blob(f"vindex {name}", u, itemsize, key_records[1])
     if u > 1 and not np.all(keys[1:] > keys[:-1]):
         raise CorruptDataError(
             f"vindex {name}: keys are not strictly increasing")

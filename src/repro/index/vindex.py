@@ -191,11 +191,27 @@ def build_value_index(path: tuple, column) -> ValueIndex:
     if n:
         keys, inverse = np.unique(col, return_inverse=True)
         inverse = inverse.astype(np.int64, copy=False).ravel()
+    else:
+        keys = np.empty(0, dtype="<U1")
+        inverse = _EMPTY
+    return build_value_index_from_codes(path, keys, inverse)
+
+
+def build_value_index_from_codes(path: tuple, keys: np.ndarray,
+                                 codes: np.ndarray) -> ValueIndex:
+    """Build the index from an existing dictionary coding — ``keys``
+    sorted ascending (``np.unique`` order) and one key code per row.
+    This is how the save path indexes a ``dict``-coded vector: the
+    codec's own (keys, codes) feed the index directly, so the persisted
+    segment and the compressed chain can never disagree within one save
+    (and the string column is never rebuilt just to index it)."""
+    n = len(codes)
+    if n:
+        inverse = np.asarray(codes, dtype=np.int64).ravel()
         counts = np.bincount(inverse,
                              minlength=len(keys)).astype(np.int64)
         rows = np.argsort(inverse, kind="stable").astype(np.int64)
     else:
-        keys = np.empty(0, dtype="<U1")
         counts, rows = _EMPTY, _EMPTY
     u = len(keys)
     offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)

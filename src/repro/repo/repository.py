@@ -161,6 +161,19 @@ def _check_manifest(raw) -> dict:
                     or not all(isinstance(c, str) for c in entry[0])
                     or not isinstance(entry[1], int) or entry[1] < 0):
                 raise bad(f"member {name!r}: bad path entry {entry!r}")
+        comp = m.get("compression")
+        if comp is not None:   # optional: absent from pre-codec manifests
+            if (not isinstance(comp, dict)
+                    or not isinstance(comp.get("logical_bytes"), int)
+                    or comp["logical_bytes"] < 0
+                    or not isinstance(comp.get("physical_bytes"), int)
+                    or comp["physical_bytes"] < 0
+                    or not isinstance(comp.get("codecs"), dict)
+                    or not all(isinstance(k, str) and isinstance(v, int)
+                               and v >= 0
+                               for k, v in comp["codecs"].items())):
+                raise bad(f"member {name!r}: bad compression entry "
+                          f"{comp!r}")
     return raw
 
 
@@ -394,13 +407,27 @@ class Repository:
         try:
             with open_vdoc(dest) as disk_doc:
                 paths = member_paths(disk_doc)
+                comp = disk_doc.compression_stats()
         except StorageError:
             os.unlink(dest)
             raise
-        self.manifest["members"].append({
+        entry = {
             "name": name, "file": file,
             "paths": [[list(p), c] for p, c in paths],
-        })
+        }
+        if comp["compression_ratio"] is not None:
+            # manifest compression summary (v4 members only — pre-v4 files
+            # don't catalog byte counts): what `repo ls` prints without
+            # opening a single page file
+            codecs: dict[str, int] = {}
+            for v in comp["vectors"]:
+                codecs[v["codec"]] = codecs.get(v["codec"], 0) + 1
+            entry["compression"] = {
+                "logical_bytes": comp["logical_bytes"],
+                "physical_bytes": comp["physical_bytes"],
+                "codecs": codecs,
+            }
+        self.manifest["members"].append(entry)
         try:
             self._write_manifest()
         except BaseException:
@@ -556,7 +583,7 @@ class Repository:
 
     def xq(self, query: str | XQuery, batched: bool = True,
            prune: bool = True, use_indexes: bool = True,
-           deadline: float | None = None,
+           use_codecs: bool = True, deadline: float | None = None,
            ctx: EvalContext | None = None) -> RepoXQResult:
         """Evaluate an XQ query over every member, in member order.
 
@@ -571,7 +598,10 @@ class Repository:
         them empty for this query — zero page I/O for skipped members —
         and evaluates survivors most-selective-first; the returned results
         are reassembled in manifest order either way, so output is
-        byte-identical with pruning on or off.
+        byte-identical with pruning on or off.  ``use_codecs=False``
+        forbids code-space predicate evaluation over dictionary-coded
+        vectors (the ``--no-codec-eval`` escape hatch) — also
+        byte-identical.
 
         ``deadline`` arms a cooperative budget (seconds) spanning *all*
         members of this query; expiry raises
@@ -592,7 +622,7 @@ class Repository:
                 f"repository is {self.name!r}")
         cache = self.result_cache
         qtext = query.strip() if isinstance(query, str) else None
-        flags = (batched, use_indexes)
+        flags = (batched, use_indexes, use_codecs)
         if prune:
             order, pruned = self._memoized(
                 ("xq-order", qtext) if qtext is not None else None,
@@ -626,7 +656,8 @@ class Repository:
                 raise
             try:
                 res = eval_xq(vdoc, xq, batched=batched, ctx=ctx,
-                              use_indexes=use_indexes)
+                              use_indexes=use_indexes,
+                              use_codecs=use_codecs)
             except StorageError as exc:
                 self._note_quarantine(name, exc)
                 raise StorageError(f"member {name!r}: {exc}") from exc
@@ -640,6 +671,7 @@ class Repository:
                             sorted(quarantined))
 
     def xpath(self, query: str, prune: bool = True,
+              use_codecs: bool = True,
               deadline: float | None = None,
               ctx: EvalContext | None = None,
               skipped: list | None = None) -> list[tuple[str, object]]:
@@ -680,7 +712,7 @@ class Repository:
             if name in prunable:
                 out.append((name, VXResult(None, [])))
                 continue
-            key = (self._cache_key(name, "xpath", qtext, ())
+            key = (self._cache_key(name, "xpath", qtext, (use_codecs,))
                    if cache is not None else None)
             if key is not None:
                 hit = cache.get(key)
@@ -695,7 +727,8 @@ class Repository:
                 self._note_quarantine(name, exc)
                 raise
             try:
-                res = eval_query(vdoc, path, ctx=ctx)
+                res = eval_query(vdoc, path, ctx=ctx,
+                                 use_codecs=use_codecs)
             except StorageError as exc:
                 self._note_quarantine(name, exc)
                 raise StorageError(f"member {name!r}: {exc}") from exc

@@ -111,6 +111,9 @@ class IOStats:
     misses: int = 0           # pins that had to read
     evictions: int = 0        # frames reclaimed by the clock
     read_retries: int = 0     # transient-OSError re-reads that were needed
+    logical_bytes: int = 0    # uncompressed bytes of columns materialized
+    physical_bytes: int = 0   # encoded bytes those columns occupied on disk
+    decoded_values: int = 0   # string values decoded from encoded storage
 
     def hit_rate(self) -> float:
         """Fraction of pins served without a physical read (0.0 when no
@@ -118,6 +121,13 @@ class IOStats:
         serve benchmark report."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def compression_ratio(self) -> float:
+        """``physical / logical`` bytes of everything materialized so far
+        (1.0 before any materialization): the live compression-savings
+        signal — lower is better, 1.0 means identity storage."""
+        return self.physical_bytes / self.logical_bytes \
+            if self.logical_bytes else 1.0
 
     def as_dict(self) -> dict:
         return {
@@ -128,6 +138,10 @@ class IOStats:
             "evictions": self.evictions,
             "read_retries": self.read_retries,
             "hit_rate": round(self.hit_rate(), 4),
+            "logical_bytes": self.logical_bytes,
+            "physical_bytes": self.physical_bytes,
+            "decoded_values": self.decoded_values,
+            "compression_ratio": round(self.compression_ratio(), 4),
         }
 
 
@@ -365,6 +379,22 @@ class BufferPool:
                 if delay > 0:
                     time.sleep(delay)
                 delay *= 2
+
+    def note_decode(self, view: FileView | None, logical: int = 0,
+                    physical: int = 0, values: int = 0) -> None:
+        """Charge one column materialization's codec traffic: ``logical``
+        uncompressed bytes served, ``physical`` encoded bytes they
+        occupied, ``values`` strings actually decoded (0 for a column
+        answered purely in code space).  Counted pool-wide and — when
+        ``view`` is given — per file, mirroring how page reads are."""
+        with self._lock:
+            self.stats.logical_bytes += logical
+            self.stats.physical_bytes += physical
+            self.stats.decoded_values += values
+            if view is not None:
+                view.stats.logical_bytes += logical
+                view.stats.physical_bytes += physical
+                view.stats.decoded_values += values
 
     def new_page_at(self, fid: int) -> tuple[int, bytearray]:
         """Allocate a fresh page in file ``fid``, returned pinned (dirty,

@@ -17,7 +17,9 @@ page/slot location for each.  Checks, in dependency order:
    already-interned prefix, hash-cons replay reproduces the ids, and the
    node count matches the catalog;
 6. vectors: every chain walks acyclically to exactly its cataloged
-   length and holds exactly the cataloged number of records;
+   length and holds exactly the record count its storage codec implies
+   (``n`` UTF-8 records for identity, the fixed header/blob layout for
+   ``dict``/``delta``/``zlib`` — format v4);
 7. index segments (format v3): both heap chains of every persisted value
    index walk to their cataloged lengths, the segment decodes under
    :func:`repro.index.decode_segment`'s full structural validation
@@ -28,11 +30,15 @@ page/slot location for each.  Checks, in dependency order:
    the catalog entry;
 8. cross-checks: no page is claimed by two chains.
 
-``deep`` additionally UTF-8-decodes every vector value, re-reads each
-indexed column and verifies the index is not **stale** (its postings
-place every row under exactly its value's code), and reports pages
-belonging to no chain (dead space a correct writer never produces) — a
-strict superset of the shallow findings.
+``deep`` additionally decodes every vector chain through its codec —
+exercising the full :meth:`~repro.storage.codecs.Codec.decode` trust
+boundary (dictionary key permutations and code bounds, delta widths,
+declared zlib payload sizes, UTF-8 of every value) — cross-checks the
+cataloged logical/physical byte counts against the chain, verifies each
+persisted index is not **stale** against the decoded column (its
+postings place every row under exactly its value's code), and reports
+pages belonging to no chain (dead space a correct writer never
+produces) — a strict superset of the shallow findings.
 
 Everything is read-only: the target file is opened ``rb`` and never
 written, so fsck is safe on a file you suspect is damaged.  All chain
@@ -52,6 +58,7 @@ from ..index import N_DATA_RECORDS, N_KEY_RECORDS, check_segment, \
     decode_segment
 from . import disk
 from .buffer import BufferPool
+from .codecs import CODECS, utf8_bytes
 from .disk import FILE_HEADER, PageFile
 from .heap import HeapFile
 from .pages import PAGE_HEADER, SlottedPage, page_crc, stored_crc
@@ -121,9 +128,11 @@ def _check_page_structure(out: _Check, page: SlottedPage, pid: int) -> None:
 
 def _walk_chain(out: _Check, code: str, what: str, heap: HeapFile,
                 expected_pages: int | None, expected_n: int | None,
-                deep: bool, count_records: bool = True) -> list[int] | None:
+                count_records: bool = True,
+                records_sink: list | None = None) -> list[int] | None:
     """Walk one heap chain, record findings; returns its page ids or
-    None when the walk itself failed."""
+    None when the walk itself failed.  ``records_sink`` collects the raw
+    records for the caller (deep codec verification)."""
     try:
         pages = heap.pages()
     except StorageError as exc:
@@ -138,14 +147,10 @@ def _walk_chain(out: _Check, code: str, what: str, heap: HeapFile,
         return pages
     count = 0
     try:
-        for i, rec in enumerate(heap.records()):
+        for rec in heap.records():
             count += 1
-            if deep:
-                try:
-                    rec.decode("utf-8")
-                except UnicodeDecodeError as exc:
-                    out.add("value", f"{what}: record {i} is not valid "
-                                     f"UTF-8 ({exc})")
+            if records_sink is not None:
+                records_sink.append(rec)
     except StorageError as exc:
         out.add(code, f"{what}: {exc}", page=getattr(exc, "page", None),
                 slot=getattr(exc, "slot", None))
@@ -241,7 +246,7 @@ def verify_vdoc(path: str, deep: bool = False) -> list[Finding]:
                         n_pages=meta["skeleton"]["pages"])
         skel_pages = _walk_chain(out, "skeleton", "skeleton chain", skel,
                                  meta["skeleton"]["pages"], None,
-                                 deep=False, count_records=False)
+                                 count_records=False)
         if skel_pages is not None:
             store = NodeStore()
             try:
@@ -285,16 +290,53 @@ def verify_vdoc(path: str, deep: bool = False) -> list[Finding]:
                                      f"the skeleton chain", page=pid)
 
         # -- vectors -------------------------------------------------------
+        fmt = meta.get("format", 2)
+        #: deep-decoded columns, reused by the index staleness check
+        vcolumns: dict[tuple, object] = {}
         for entry in meta["vectors"]:
             name = "/".join(entry["path"])
+            codec = CODECS[entry.get("codec", "identity")]
             heap = HeapFile(pool, entry["head"], n_pages=entry["pages"])
+            sink: list | None = [] if deep else None
             pages = _walk_chain(out, "vector", f"vector {name}", heap,
-                                entry["pages"], entry["n"], deep=deep)
+                                entry["pages"],
+                                codec.n_records(entry["n"]),
+                                records_sink=sink)
             for pid in pages or ():
                 prev = claimed.setdefault(pid, name)
                 if prev != name:
                     out.add("cross", f"page claimed by both {prev} and "
                                      f"vector {name}", page=pid)
+            if pages is None or sink is None:
+                continue
+            # deep: decode through the codec — the full trust boundary
+            # (key permutations, code bounds, widths, declared payload
+            # sizes, per-value UTF-8) — and cross-check the cataloged
+            # byte counts against the chain
+            lbytes = entry.get("lbytes") if fmt >= 4 else None
+            if fmt >= 4:
+                enc = sum(len(r) for r in sink)
+                if enc != entry["pbytes"]:
+                    out.add("value",
+                            f"vector {name}: catalog says "
+                            f"{entry['pbytes']} encoded bytes, chain "
+                            f"holds {enc}", page=pages[0] if pages else None)
+            try:
+                state = codec.decode(tuple(entry["path"]), entry["n"],
+                                     sink, lbytes)
+                column = codec.column(state)
+            except CorruptDataError as exc:
+                out.add("value", str(exc),
+                        page=pages[0] if pages else None)
+                continue
+            if lbytes is not None:
+                logical = utf8_bytes([str(v) for v in column])
+                if logical != lbytes:
+                    out.add("value",
+                            f"vector {name}: catalog says {lbytes} "
+                            f"logical bytes, decoded column holds "
+                            f"{logical}")
+            vcolumns[tuple(entry["path"])] = column
 
         # -- index segments (format v3) ------------------------------------
         for entry in meta["vectors"]:
@@ -311,7 +353,7 @@ def verify_vdoc(path: str, deep: bool = False) -> list[Finding]:
                     (f"index keys of {name}", kheap, N_KEY_RECORDS),
                     (f"index data of {name}", dheap, N_DATA_RECORDS)):
                 pages = _walk_chain(out, "index", what, heap, heap.n_pages,
-                                    n_exp, deep=False)
+                                    n_exp)
                 if pages is None:
                     walked = False
                     continue
@@ -341,17 +383,10 @@ def verify_vdoc(path: str, deep: bool = False) -> list[Finding]:
                 out.add("index",
                         f"vindex {name}: catalog says {ix['buckets']} "
                         f"buckets, segment holds {vi.n_buckets}")
-            column = None
-            if deep:
-                vheap = HeapFile(pool, entry["head"],
-                                 n_pages=entry["pages"])
-                try:
-                    column = [r.decode("utf-8") for r in vheap.records()]
-                except (StorageError, UnicodeDecodeError):
-                    column = None  # reported by the vector sweep above
-                else:
-                    if len(column) != entry["n"]:
-                        column = None
+            # staleness against the codec-decoded column from the vector
+            # sweep (absent when the chain itself failed to decode —
+            # already reported there)
+            column = vcolumns.get(tuple(entry["path"])) if deep else None
             for msg in check_segment(vi, column):
                 out.add("index", f"vindex {name}: {msg}")
 

@@ -3,8 +3,14 @@
 File layout (all inside one :class:`PageFile`, format v2 — per-page
 checksums, see :mod:`repro.storage.disk`):
 
-* one heap-file chain per data vector — the values in document order,
-  one string record each (XMILL-style containers);
+* one heap-file chain per data vector — the values in document order
+  (XMILL-style containers).  Up to format v3 that is one plain UTF-8
+  record per value; format v4 stores each vector **encoded** by a
+  per-vector codec (:mod:`repro.storage.codecs`) chosen at save time by
+  sampled compression ratio — the codec name and the exact logical
+  (UTF-8) vs physical (encoded) byte counts are recorded on the
+  vector's catalog entry, so tools reason about compression with zero
+  page I/O;
 * one heap for the skeleton — one record per interned node, in id order:
   ``label UTF-8 bytes, NUL, then (child_id, count) int64 pairs``.  Node
   ids are interning order, so replaying ``intern()`` record by record
@@ -44,21 +50,27 @@ import numpy as np
 
 from ..core.skeleton import NodeStore
 from ..core.vdoc import VectorizedDocument
-from ..core.vectors import Vector, active_context
+from ..core.vectors import Vector, active_context, parse_float_column
 from ..errors import CorruptDataError, StorageError
-from ..index import build_value_index, decode_segment, encode_segment
+from ..index import (build_value_index, build_value_index_from_codes,
+                     decode_segment, encode_segment)
 from . import faults
 from .buffer import BufferPool
+from .codecs import CODECS, IDENTITY, encode_column
 from .disk import PageFile
 from .heap import HeapFile
 from .pages import DEFAULT_PAGE_SIZE
 
-#: current write format: v3 = v2 + optional per-vector value-index
-#: segments (two extra heap chains per indexed vector, announced by an
-#: ``"index"`` object on the vector's catalog entry).  v2 files — no
-#: ``"index"`` entries — still open and query unchanged.
-VDOC_FORMAT = 3
-VDOC_FORMATS = (2, 3)
+#: current write format: v4 = v3 + per-vector storage codecs (the heap
+#: chain holds the codec's encoded records instead of one UTF-8 record
+#: per value; the catalog entry gains ``codec``/``lbytes``/``pbytes``).
+#: v3 = v2 + optional per-vector value-index segments (two extra heap
+#: chains per indexed vector, announced by an ``"index"`` object on the
+#: vector's catalog entry).  v2 and v3 files still open and query
+#: unchanged; ``save_vdoc(..., fmt=3)`` still writes the v3 layout.
+VDOC_FORMAT = 4
+VDOC_FORMATS = (2, 3, 4)
+WRITABLE_FORMATS = (3, 4)
 
 _RUN = struct.Struct("<qq")
 
@@ -87,21 +99,35 @@ class LazyVector(Vector):
     """A data vector whose column lives on disk until first touched.
 
     Materialization is one sequential pass over the heap chain through the
-    buffer pool; the resulting numpy column is cached, so the pass happens
-    at most once per open document (``drop_cache()`` releases it, e.g. for
-    cold-cache benchmarking).  ``pages_read`` counts the *physical* reads
-    charged to this vector — at most ``n_pages`` per materialization —
-    measured as the materializing thread's own read delta
+    buffer pool, decoding the records through the vector's storage codec
+    (:mod:`repro.storage.codecs`); the resulting *state* is cached, so the
+    pass happens at most once per open document (``drop_cache()`` releases
+    it, e.g. for cold-cache benchmarking).  For an eager codec (identity,
+    zlib) the state is the string column itself; for ``dict``/``delta``
+    the state is the coded form, and the string column is only derived —
+    and the decode only *charged* — when something actually asks for
+    strings.  A dictionary-coded vector queried purely through
+    :meth:`dict_codes` (equality predicates in code space) or
+    :meth:`floats` (ordering predicates via the parsed keys) therefore
+    reports **zero decoded values** — the machine-checkable form of
+    "queried without decoding".
+
+    ``pages_read`` counts the *physical* reads charged to this vector —
+    at most ``n_pages`` per materialization — measured as the
+    materializing thread's own read delta
     (:meth:`~repro.storage.buffer.BufferPool.pages_read_local`) so a
     concurrent request faulting other pages never inflates it, and
     reported to the thread's active evaluation context, which bounds it.
     Concurrent first touches are serialized on a per-vector lock: one
-    thread materializes, the others reuse the published column.
+    thread materializes, the others reuse the published state.
     """
 
-    __slots__ = ("_heap", "_n", "_mat_lock")
+    __slots__ = ("_heap", "_n", "_mat_lock", "_codec", "_state",
+                 "_lbytes", "_pbytes")
 
-    def __init__(self, path: tuple, n: int, heap: HeapFile):
+    def __init__(self, path: tuple, n: int, heap: HeapFile,
+                 codec=IDENTITY, lbytes: int | None = None,
+                 pbytes: int | None = None):
         self.path = path
         self._values = None
         self._floats = None
@@ -109,52 +135,116 @@ class LazyVector(Vector):
         self.n_pages = heap.n_pages or 0
         self._heap = heap
         self._n = n
+        self._codec = codec
+        self._state = None
+        self._lbytes = lbytes   # logical (UTF-8) bytes, None pre-v4
+        self._pbytes = pbytes   # encoded on-disk bytes, None pre-v4
         self._mat_lock = threading.Lock()
 
     def __len__(self) -> int:  # no materialization just to count
         return self._n
 
-    def _col(self) -> np.ndarray:
-        col = self._values
-        if col is None:
-            with self._mat_lock:
-                col = self._values
-                if col is None:
-                    col = self._materialize()
-                    self._values = col
-        return col
+    @property
+    def codec_name(self) -> str:
+        return self._codec.name
 
-    def _materialize(self) -> np.ndarray:
+    def _charge(self, logical: int = 0, physical: int = 0,
+                values: int = 0) -> None:
+        """Report codec traffic to the pool stats (``--io-stats`` /
+        ``/stats``) and decoded values to the active evaluation context
+        (the zero-decode assertion)."""
+        holder = self._heap.pool
+        pool = getattr(holder, "pool", holder)   # FileView -> its pool
+        view = holder if holder is not pool else None
+        pool.note_decode(view, logical=logical, physical=physical,
+                         values=values)
+        if values:
+            ctx = active_context()
+            if ctx is not None:
+                ctx.note_decode(self, values)
+
+    def _ensure_state(self):
+        state = self._state
+        if state is None:
+            with self._mat_lock:
+                state = self._state
+                if state is None:
+                    state = self._materialize()
+                    self._state = state
+        return state
+
+    def _materialize(self):
         pool = self._heap.pool
         before = pool.pages_read_local()
-        values = []
-        for i, rec in enumerate(self._heap.records()):
-            try:
-                values.append(rec.decode("utf-8"))
-            except UnicodeDecodeError as exc:
-                raise CorruptDataError(
-                    f"vector {'/'.join(self.path)}: value {i} is not "
-                    f"valid UTF-8 ({exc})") from exc
+        records = list(self._heap.records())
         read = pool.pages_read_local() - before
         self.pages_read += read
         ctx = active_context()
         if ctx is not None:
             ctx.note_io(self, read)
-        if len(values) != self._n:
+        enc = sum(len(r) for r in records)
+        if self._pbytes is not None and enc != self._pbytes:
             raise CorruptDataError(
-                f"vector {'/'.join(self.path)}: catalog says {self._n} "
-                f"values, chain holds {len(values)}")
-        col = np.asarray(values, dtype=np.str_)
-        if col.dtype.kind != "U":
-            col = col.astype(np.str_)
+                f"vector {'/'.join(self.path)}: catalog says {self._pbytes}"
+                f" encoded bytes, chain holds {enc}")
+        state = self._codec.decode(
+            self.path, self._n, records, self._lbytes,
+            checkpoint=ctx.checkpoint if ctx is not None else None)
+        logical = self._lbytes if self._lbytes is not None else enc
+        self._charge(logical=logical, physical=enc,
+                     values=self._n if self._codec.eager_column else 0)
+        return state
+
+    def _col(self) -> np.ndarray:
+        col = self._values
+        if col is None:
+            state = self._ensure_state()
+            with self._mat_lock:
+                col = self._values
+                if col is None:
+                    col = self._codec.column(state)
+                    if not self._codec.eager_column:
+                        # the decode happens here, not at materialization
+                        self._charge(values=self._n)
+                    self._values = col
         return col
 
+    def dict_codes(self):
+        """``(sorted keys, int64 codes)`` of a dictionary-coded vector —
+        loads the coded state (counting pages and one scan as usual) but
+        never builds the string column."""
+        if self._codec.name != "dict":
+            return None
+        return self._codec.codes(self._ensure_state())
+
+    def floats(self) -> np.ndarray:
+        """Float view without decoding where the codec allows it: delta
+        state *is* numeric; a dict state parses only the ``u`` distinct
+        keys and gathers — same per-value semantics
+        (:func:`~repro.core.vectors.parse_float_column`) as the column
+        path, so results are byte-identical."""
+        if self._floats is None:
+            state = self._ensure_state()
+            f = self._codec.floats(state)
+            if f is None:
+                dc = self._codec.codes(state)
+                if dc is not None:
+                    keys, codes = dc
+                    f = parse_float_column(np.asarray(keys,
+                                                      dtype=np.str_))[codes]
+                else:
+                    f = parse_float_column(self._col())
+            self._floats = f
+        return self._floats
+
     def is_loaded(self) -> bool:
-        return self._values is not None
+        return self._state is not None
 
     def drop_cache(self) -> None:
-        """Release the materialized column (the next access re-reads the
-        chain through the pool — cold or warm depending on the pool)."""
+        """Release the materialized state and column (the next access
+        re-reads the chain through the pool — cold or warm depending on
+        the pool)."""
+        self._state = None
         self._values = None
         self._floats = None
 
@@ -270,6 +360,39 @@ class DiskVectorizedDocument(VectorizedDocument):
         structure the engine's I/O invariants must cover."""
         return list(self.vectors.values()) + list(self._vindexes.values())
 
+    def codec_of(self, path) -> str | None:
+        """Cataloged storage-codec name of one vector (no page I/O) —
+        the planner consults this to stamp ``access='dict'``."""
+        vec = self.vectors.get(tuple(path))
+        return vec.codec_name if vec is not None else None
+
+    def compression_stats(self) -> dict:
+        """Per-vector codec + logical/physical bytes and the overall
+        compression ratio, straight from the catalog (zero page I/O —
+        what ``repo ls`` / ``index ls`` print).  Byte counts are ``None``
+        for pre-v4 files, which don't catalog them."""
+        vecs = []
+        logical = physical = 0
+        known = True
+        for vpath in sorted(self.vectors):
+            vec = self.vectors[vpath]
+            vecs.append({"path": "/".join(vpath), "n": len(vec),
+                         "codec": vec.codec_name,
+                         "logical_bytes": vec._lbytes,
+                         "physical_bytes": vec._pbytes})
+            if vec._lbytes is None or vec._pbytes is None:
+                known = False
+            else:
+                logical += vec._lbytes
+                physical += vec._pbytes
+        ratio = None
+        if known:
+            ratio = round(physical / logical, 4) if logical else 1.0
+        return {"vectors": vecs,
+                "logical_bytes": logical if known else None,
+                "physical_bytes": physical if known else None,
+                "compression_ratio": ratio}
+
     def drop_caches(self) -> None:
         """Forget every materialized column and index (buffer pool left
         as is)."""
@@ -304,23 +427,46 @@ def _resolve_index_paths(vdoc: VectorizedDocument, index_paths) -> set:
 
 
 def _write_vdoc(vdoc: VectorizedDocument, file: PageFile,
-                index_paths=None) -> dict:
+                index_paths=None, fmt: int = VDOC_FORMAT) -> dict:
     """Write the heaps + catalog into ``file`` and return the meta dict."""
+    if fmt not in WRITABLE_FORMATS:
+        raise StorageError(
+            f"cannot write vdoc format {fmt!r} "
+            f"(writable: {', '.join(map(str, WRITABLE_FORMATS))})")
     pool = BufferPool(file, capacity=None)  # writer: keep all resident
     indexed = _resolve_index_paths(vdoc, index_paths)
     catalog = []
     for vpath in sorted(vdoc.vectors):
         vec = vdoc.vectors[vpath]
         values = vec.tolist()
+        if fmt >= 4:
+            codec, records, lbytes, pbytes = encode_column(values)
+        else:
+            codec, records = IDENTITY, \
+                [v.encode("utf-8") for v in values]
         heap = HeapFile.create(pool)
-        for value in values:
-            heap.append(value.encode("utf-8"))
+        for record in records:
+            heap.append(record)
         entry = {"path": list(vpath), "n": len(vec),
                  "head": heap.head, "pages": heap.n_pages}
+        if fmt >= 4:
+            entry["codec"] = codec.name
+            entry["lbytes"] = int(lbytes)
+            entry["pbytes"] = int(pbytes)
         if vpath in indexed:
             # the segment is built from the very values just written, so
             # index and vector can never disagree within one save
-            vi = build_value_index(vpath, np.asarray(values, dtype=np.str_))
+            if codec.name == "dict":
+                # index straight from the codec's own coding — decoding
+                # the just-encoded records both verifies the roundtrip at
+                # write time and guarantees segment and chain share one
+                # key dictionary
+                keys, codes = codec.decode(vpath, len(values), records,
+                                           lbytes)
+                vi = build_value_index_from_codes(vpath, keys, codes)
+            else:
+                vi = build_value_index(vpath,
+                                       np.asarray(values, dtype=np.str_))
             key_records, data_records = encode_segment(vi)
             kheap = HeapFile.create(pool)
             for record in key_records:
@@ -340,7 +486,7 @@ def _write_vdoc(vdoc: VectorizedDocument, file: PageFile,
     for nid in range(len(store)):
         skel.append(_encode_node(store.label(nid), store.children(nid)))
     meta = {
-        "format": VDOC_FORMAT,
+        "format": fmt,
         "root": vdoc.root,
         "n_nodes": len(store),
         "skeleton": {"head": skel.head, "pages": skel.n_pages},
@@ -355,11 +501,14 @@ def _write_vdoc(vdoc: VectorizedDocument, file: PageFile,
 
 def save_vdoc(vdoc: VectorizedDocument, path: str,
               page_size: int = DEFAULT_PAGE_SIZE,
-              index_paths=None) -> dict:
+              index_paths=None, fmt: int = VDOC_FORMAT) -> dict:
     """Atomically write ``vdoc`` to ``path`` in the paged on-disk format;
     returns a summary (pages, bytes, vector count).  ``index_paths``
     (``"all"`` or an iterable of vector paths) additionally builds and
-    persists value-index segments for those vectors.
+    persists value-index segments for those vectors.  ``fmt=3`` writes
+    the uncompressed v3 layout (one UTF-8 record per value, no codec
+    catalog fields) — the compatibility escape hatch and the baseline
+    the compression benchmarks compare against.
 
     The document is written to a temp file in the same directory, fsynced,
     then renamed over ``path`` (``os.replace``) with a directory fsync —
@@ -374,10 +523,12 @@ def save_vdoc(vdoc: VectorizedDocument, path: str,
     try:
         file = PageFile.create(tmp, page_size)
         try:
-            meta = _write_vdoc(vdoc, file, index_paths=index_paths)
+            meta = _write_vdoc(vdoc, file, index_paths=index_paths,
+                               fmt=fmt)
             file.flush()
             summary = {
                 "path": path,
+                "format": fmt,
                 "page_size": page_size,
                 "pages": file.n_pages,
                 "bytes": file.size_bytes(),
@@ -389,6 +540,17 @@ def save_vdoc(vdoc: VectorizedDocument, path: str,
                     e["index"]["keys_pages"] + e["index"]["data_pages"]
                     for e in meta["vectors"] if "index" in e),
             }
+            if fmt >= 4:
+                logical = sum(e["lbytes"] for e in meta["vectors"])
+                physical = sum(e["pbytes"] for e in meta["vectors"])
+                codecs: dict[str, int] = {}
+                for e in meta["vectors"]:
+                    codecs[e["codec"]] = codecs.get(e["codec"], 0) + 1
+                summary["logical_bytes"] = logical
+                summary["physical_bytes"] = physical
+                summary["compression_ratio"] = round(
+                    physical / logical, 4) if logical else 1.0
+                summary["codecs"] = codecs
             file.sync_close()  # flush + fsync + close: durable before rename
         except BaseException:
             file.abort()
@@ -444,17 +606,27 @@ def _check_catalog(meta, path: str, n_pages: int) -> None:
             raise CorruptDataError(
                 f"{path}: vector entry path {vpath!r} is not a list of "
                 f"labels")
-        n = _req_int(entry.get("n"), f"value count of {'/'.join(vpath)}",
-                     lo=0)
-        _req_int(entry.get("head"), f"head page of {'/'.join(vpath)}",
+        name = "/".join(vpath)
+        n = _req_int(entry.get("n"), f"value count of {name}", lo=0)
+        _req_int(entry.get("head"), f"head page of {name}",
                  lo=0, hi=n_pages)
-        _req_int(entry.get("pages"), f"chain length of {'/'.join(vpath)}",
+        _req_int(entry.get("pages"), f"chain length of {name}",
                  lo=1, hi=n_pages + 1)
+        fmt = meta.get("format")
+        if fmt >= 4:
+            codec = entry.get("codec")
+            if codec not in CODECS:
+                raise CorruptDataError(
+                    f"{path}: vector {name} names unknown codec {codec!r}")
+            _req_int(entry.get("lbytes"), f"logical bytes of {name}", lo=0)
+            _req_int(entry.get("pbytes"), f"encoded bytes of {name}", lo=0)
+        elif "codec" in entry or "lbytes" in entry or "pbytes" in entry:
+            raise CorruptDataError(
+                f"{path}: v{fmt} catalog carries codec fields for {name}")
         ix = entry.get("index")
         if ix is None:
             continue
-        name = "/".join(vpath)
-        if meta.get("format") == 2:
+        if fmt == 2:
             raise CorruptDataError(
                 f"{path}: v2 catalog carries an index entry for {name}")
         if not isinstance(ix, dict):
@@ -547,7 +719,12 @@ def open_vdoc(path: str, pool_pages: int | None = None,
         for entry in meta["vectors"]:
             vpath = tuple(entry["path"])
             heap = HeapFile(view, entry["head"], n_pages=entry["pages"])
-            vectors[vpath] = LazyVector(vpath, entry["n"], heap)
+            codec = CODECS[entry["codec"]] if meta["format"] >= 4 \
+                else IDENTITY
+            vectors[vpath] = LazyVector(vpath, entry["n"], heap,
+                                        codec=codec,
+                                        lbytes=entry.get("lbytes"),
+                                        pbytes=entry.get("pbytes"))
             if "index" in entry:
                 vindexes[vpath] = DiskValueIndex(vpath, entry["n"],
                                                  entry["index"], view)

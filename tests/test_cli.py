@@ -210,3 +210,65 @@ def test_cli_check_repo_ok_and_not_a_repo(tmp_path, capsys):
     assert main(["check", str(empty)]) == 1
     out = capsys.readouterr().out
     assert "repo.json" in out
+
+
+def _codec_rich_xml(tmp_path, n=200):
+    items = "".join(
+        f"<it><id>{1000 + i}</id><cat>c{i % 5}</cat>"
+        f"<note>shared prose, distinct tail number {i} of many</note></it>"
+        for i in range(n))
+    f = tmp_path / "codec.xml"
+    f.write_text(f"<r>{items}</r>", encoding="utf-8")
+    return f
+
+
+def test_cli_save_format_and_index_ls_compression(tmp_path, capsys):
+    f = _codec_rich_xml(tmp_path)
+    v4, v3 = str(tmp_path / "d4.vdoc"), str(tmp_path / "d3.vdoc")
+
+    assert main(["save", str(f), v4, "--page-size", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "format           4" in out
+    assert "compression_ratio" in out and "codecs" in out
+
+    assert main(["save", str(f), v3, "--page-size", "512",
+                 "--format", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "format           3" in out
+    assert "compression_ratio" not in out
+
+    # index ls prints per-vector codec + logical/on-disk bytes from the
+    # catalog alone, before any index exists
+    assert main(["index", "ls", v4]) == 0
+    out = capsys.readouterr().out
+    assert "codec=dict" in out and "codec=delta" in out
+    assert "logical=" in out and "disk=" in out
+    assert "ratio=" in out
+    assert "no index segments" in out
+
+    # the two formats answer queries byte-identically through the CLI
+    q = "for $i in /r/it where $i/cat = 'c2' return <o>{$i/id}</o>"
+    assert main(["query", v4, q, "--pool", "8"]) == 0
+    out4 = capsys.readouterr().out
+    assert main(["query", v3, q, "--pool", "8"]) == 0
+    assert capsys.readouterr().out == out4
+    assert main(["query", v4, q, "--pool", "8", "--no-codec-eval"]) == 0
+    assert capsys.readouterr().out == out4
+
+
+def test_cli_repo_ls_compression_summary(tmp_path, capsys):
+    f = _codec_rich_xml(tmp_path)
+    d = str(tmp_path / "repo")
+    assert main(["repo", "init", d, "--name", "col"]) == 0
+    assert main(["repo", "add", d, str(f), "--name", "m0"]) == 0
+    capsys.readouterr()
+    assert main(["repo", "ls", d]) == 0
+    out = capsys.readouterr().out
+    assert "codecs[" in out and "dict=" in out
+    assert "compression: logical=" in out and "ratio=" in out
+
+    q = "for $i in /r/it where $i/cat = 'c1' return <o>{$i/id}</o>"
+    assert main(["repo", "query", d, q]) == 0
+    base = capsys.readouterr().out
+    assert main(["repo", "query", d, q, "--no-codec-eval"]) == 0
+    assert capsys.readouterr().out == base

@@ -130,3 +130,63 @@ def test_committed_baseline_self_gates():
     assert any(line.lstrip().startswith("indexed") for line in lines)
     assert any(line.lstrip().startswith("reduction") for line in lines)
     assert any(line.lstrip().startswith("batched") for line in lines)
+
+
+def _disk_payload(page_ratio=0.3, dict_decodes=0, cpu=0.1, timed=True):
+    return {
+        "compression_regime": {
+            "page_slack": 0.25,
+            "max_cpu_overhead": 0.50,
+            "records": [{
+                "n_people": 50,
+                "byte_ratio": 0.2,
+                "pages_cold_v3": 100,
+                "pages_cold_v4": int(100 * page_ratio),
+                "page_ratio": page_ratio,
+                "dict_decodes": dict_decodes,
+                "cpu_overhead": cpu,
+                "cpu_timed": timed,
+                "highcard_pages_v3": 40,
+                "highcard_pages_v4": 40,
+            }],
+        },
+        "profile_failures": [],
+    }
+
+
+def test_disk_check_passes_on_clean_payload(tmp_path, capsys):
+    p = _write(tmp_path, "disk.json", _disk_payload())
+    assert gate.main([p, "--disk-check"]) == 0
+    assert "disk ok" in capsys.readouterr().out
+
+
+def test_disk_check_fails_on_violated_properties(tmp_path, capsys):
+    cases = [
+        _disk_payload(page_ratio=1.0),           # no page reduction
+        _disk_payload(page_ratio=0.6),           # not tracking byte ratio
+        _disk_payload(dict_decodes=500),         # decoded the dict vector
+        _disk_payload(cpu=0.9),                  # CPU over the ceiling
+        {"compression_regime": {"records": []}},
+        {},                                      # not a bench_disk payload
+    ]
+    recorded = _disk_payload()
+    recorded["profile_failures"] = ["n=50: something broke"]
+    cases.append(recorded)
+    for i, payload in enumerate(cases):
+        p = _write(tmp_path, f"disk{i}.json", payload)
+        assert gate.main([p, "--disk-check"]) == 1, f"case {i} passed"
+        assert "disk FAIL" in capsys.readouterr().err
+
+
+def test_disk_check_skips_cpu_ceiling_below_timing_floor(tmp_path):
+    p = _write(tmp_path, "disk.json",
+               _disk_payload(cpu=2.0, timed=False))
+    assert gate.main([p, "--disk-check"]) == 0
+
+
+def test_committed_disk_baseline_self_checks():
+    """The committed BENCH_disk.json must hold its own compression
+    properties — guards the payload shape the CI disk gate depends on."""
+    committed = pathlib.Path(BENCHMARKS).parent / "BENCH_disk.json"
+    payload = json.loads(committed.read_text("utf-8"))
+    assert gate.disk_check(payload) == []
